@@ -1,0 +1,31 @@
+# Convenience targets for the DieHard reproduction.
+
+.PHONY: all build test bench bench-quick fuzz examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+
+bench:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+bench-quick:
+	dune exec bench/main.exe -- quick
+
+fuzz:
+	dune exec bin/fuzz.exe -- --rounds 100 --ops 400
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/squid_survival.exe
+	dune exec examples/fault_injection.exe
+	dune exec examples/replicated_voting.exe
+	dune exec examples/minic_tour.exe
+	dune exec examples/heap_debugging.exe
+
+clean:
+	dune clean
