@@ -1,0 +1,1 @@
+bench/ablate.ml: Array Dh_alloc Dh_analysis Dh_lang Dh_mem Dh_rng Dh_workload Diehard Factory List Printf Report

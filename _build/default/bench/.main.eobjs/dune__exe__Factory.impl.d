@@ -1,0 +1,1 @@
+bench/factory.ml: Dh_alloc Dh_mem Diehard

@@ -1,0 +1,1 @@
+bench/fig4.ml: Array Dh_alloc Dh_analysis Dh_mem Dh_rng Diehard Factory List Printf Report

@@ -1,0 +1,1 @@
+bench/fig5.ml: Analyze Bechamel Benchmark Dh_alloc Dh_mem Dh_workload Factory Hashtbl List Measure Printf Report Staged Test Time Toolkit

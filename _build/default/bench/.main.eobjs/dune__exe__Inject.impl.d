@@ -1,0 +1,1 @@
+bench/inject.ml: Dh_fault Dh_mem Dh_workload Diehard Factory Format Printf Report

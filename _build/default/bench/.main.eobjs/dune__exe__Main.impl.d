@@ -1,0 +1,1 @@
+bench/main.ml: Ablate Array Fig4 Fig5 Inject List Printf Probes Replicas Space Squid_bench String Sys Table1 Unix

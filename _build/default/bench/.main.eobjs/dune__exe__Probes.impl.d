@@ -1,0 +1,1 @@
+bench/probes.ml: Dh_alloc Dh_mem Diehard List Printf Report

@@ -1,0 +1,1 @@
+bench/replicas.ml: Dh_alloc Dh_analysis Dh_lang Dh_mem Dh_rng Dh_workload Diehard Format Lazy List Printf Report

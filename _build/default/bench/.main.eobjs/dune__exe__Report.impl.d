@@ -1,0 +1,1 @@
+bench/report.ml: Array List Printf String Sys Unix

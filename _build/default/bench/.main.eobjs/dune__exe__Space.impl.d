@@ -1,0 +1,1 @@
+bench/space.ml: Dh_alloc Dh_mem Dh_workload Factory List Printf Report

@@ -1,0 +1,1 @@
+bench/squid_bench.ml: Dh_alloc Dh_mem Dh_workload Factory List Printf Report

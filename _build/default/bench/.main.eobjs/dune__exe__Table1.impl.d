@@ -1,0 +1,1 @@
+bench/table1.ml: Dh_alloc Dh_lang Dh_mem Diehard Factory List Printf Report String

@@ -1,0 +1,62 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md's experiment index and
+   EXPERIMENTS.md for paper-vs-measured commentary).
+
+     dune exec bench/main.exe            # everything, full settings
+     dune exec bench/main.exe -- quick   # everything, reduced trials
+     dune exec bench/main.exe -- fig4a fig5a table1 ...   # any subset *)
+
+let experiments ~quick =
+  [
+    ( "fig4a",
+      fun () ->
+        Fig4.figure_4a ~trials:(if quick then 60 else 300);
+        Fig4.overflow_length_sweep ~trials:(if quick then 60 else 300) );
+    ("fig4b", fun () -> Fig4.figure_4b ~trials:(if quick then 20 else 100));
+    ( "fig5a",
+      fun () ->
+        Fig5.figure_5a ~runs:(if quick then 1 else 3)
+          ~factor:(if quick then 0.2 else 1.0) );
+    ( "fig5b",
+      fun () ->
+        Fig5.figure_5b ~runs:(if quick then 1 else 3)
+          ~factor:(if quick then 0.2 else 1.0) );
+    ("micro", fun () -> Fig5.microbench ());
+    ("table1", fun () -> Table1.run ~quick ());
+    ("inject", fun () -> Inject.run ~quick ());
+    ("squid", fun () -> Squid_bench.run ~quick ());
+    ("replicas", fun () -> Replicas.run ~quick ());
+    ("probes", fun () -> Probes.run ~quick ());
+    ("space", fun () -> Space.run ~quick ());
+    ("ablate", fun () -> Ablate.run ~quick ());
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "quick" args in
+  let selected = List.filter (fun a -> a <> "quick") args in
+  let experiments = experiments ~quick in
+  let to_run =
+    if selected = [] then experiments
+    else
+      List.filter_map
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> Some (name, f)
+          | None ->
+            Printf.eprintf "unknown experiment %S; known: %s\n" name
+              (String.concat ", " (List.map fst experiments));
+            exit 2)
+        selected
+  in
+  Printf.printf
+    "DieHard reproduction benchmarks%s -- one section per paper table/figure\n"
+    (if quick then " (quick mode)" else "");
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (name, f) ->
+      let t = Unix.gettimeofday () in
+      f ();
+      Printf.printf "  [%s: %.1fs]\n%!" name (Unix.gettimeofday () -. t))
+    to_run;
+  Printf.printf "\nAll benchmarks complete in %.1fs.\n" (Unix.gettimeofday () -. t0)

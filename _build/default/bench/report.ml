@@ -1,0 +1,46 @@
+(* Plain-text table rendering for the benchmark reports.  Every figure
+   and table of the paper is printed as an aligned text table with a
+   header naming the paper artifact it regenerates. *)
+
+let heading title =
+  let bar = String.make (String.length title) '=' in
+  Printf.printf "\n%s\n%s\n" title bar
+
+let subheading title = Printf.printf "\n-- %s --\n" title
+
+(* Render rows of string cells with aligned columns. *)
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let print_row row =
+    let cells =
+      List.mapi (fun i cell -> cell ^ String.make (widths.(i) - String.length cell) ' ') row
+    in
+    print_string "  ";
+    print_endline (String.concat "  " cells)
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') (Array.to_list widths));
+  List.iter print_row rows
+
+let pct p = Printf.sprintf "%5.1f%%" (100. *. p)
+let pct2 p = Printf.sprintf "%7.3f%%" (100. *. p)
+let f2 x = Printf.sprintf "%.2f" x
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt
+
+(* Timing: median of [runs] wall-clock measurements of [f]. *)
+let time_median ?(runs = 3) f =
+  let samples =
+    List.init runs (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Sys.opaque_identity (f ()));
+        Unix.gettimeofday () -. t0)
+  in
+  match List.sort compare samples with
+  | [] -> 0.
+  | sorted -> List.nth sorted (List.length sorted / 2)

@@ -1,0 +1,62 @@
+(* §4.5 "Space Consumption": DieHard trades memory for safety.  We
+   measure, for each workload: bytes reserved vs requested (internal
+   fragmentation from power-of-two rounding), bytes mapped vs live
+   (the M-factor and region cost), and pages touched (the paper's
+   locality concern — random placement spreads the live set over many
+   more pages). *)
+
+module Allocator = Dh_alloc.Allocator
+module Stats = Dh_alloc.Stats
+module Mem = Dh_mem.Mem
+module Profile = Dh_workload.Profile
+module Driver = Dh_workload.Driver
+
+let measure profile make_alloc =
+  let alloc = make_alloc () in
+  let _ = Driver.run profile alloc in
+  let stats = alloc.Allocator.stats in
+  let mem = alloc.Allocator.mem in
+  let rounding =
+    float_of_int stats.Stats.bytes_allocated /. float_of_int (max 1 stats.Stats.bytes_requested)
+  in
+  let mapped = Mem.mapped_bytes mem in
+  (rounding, stats.Stats.peak_live_bytes, mapped, Mem.touched_pages mem)
+
+let run ~quick () =
+  Report.heading "Section 4.5: space consumption and page-level locality";
+  Report.note "rounding = reserved/requested bytes; mapped = total address space mapped";
+  Report.note "touched pages is the simulation's resident-set proxy";
+  let factor = if quick then 0.2 else 1.0 in
+  let profiles = [ "cfrac"; "espresso"; "300.twolf" ] in
+  let rows =
+    List.concat_map
+      (fun name ->
+        match Profile.find name with
+        | None -> []
+        | Some profile ->
+          let profile = Profile.scale profile ~factor in
+          let heap_size = max (Driver.heap_size_for profile) (24 lsl 20) in
+          List.map
+            (fun (alloc_name, make) ->
+              let rounding, peak_live, mapped, pages = measure profile make in
+              [
+                name;
+                alloc_name;
+                Report.f2 rounding;
+                Printf.sprintf "%d KB" (peak_live / 1024);
+                Printf.sprintf "%d KB" (mapped / 1024);
+                string_of_int pages;
+              ])
+            [
+              ("malloc", fun () -> Factory.freelist ());
+              ("GC", fun () -> Factory.gc ());
+              ("DieHard", fun () -> Factory.diehard ~heap_size ());
+            ])
+      profiles
+  in
+  Report.table
+    ~header:[ "benchmark"; "allocator"; "rounding"; "peak live"; "mapped"; "pages touched" ]
+    rows;
+  Report.note
+    "expected shape: DieHard rounds up (<= 2x), maps M x 12 regions lazily, and";
+  Report.note "touches many more pages (the paper's TLB/RSS discussion, esp. twolf)"

@@ -1,0 +1,51 @@
+(* §7.3 "Real Faults": the Squid buffer overflow.
+
+   "Version 2.3s5 of the Squid web cache server has a buffer overflow
+   error that can be triggered by an ill-formed input.  When faced with
+   this input and running with either the GNU libc allocator or the
+   Boehm-Demers-Weiser collector, Squid crashes with a segmentation
+   fault.  Using DieHard in stand-alone mode, the overflow has no
+   effect." *)
+
+module Process = Dh_mem.Process
+module Program = Dh_alloc.Program
+module Apps = Dh_workload.Apps
+
+let outcome_cell (r : Process.result) =
+  match r.Process.outcome with
+  | Process.Exited 0 -> Printf.sprintf "serves all requests"
+  | Process.Exited n -> Printf.sprintf "exit(%d)" n
+  | Process.Crashed f -> Printf.sprintf "CRASH (%s)" (Dh_mem.Fault.to_string f)
+  | Process.Aborted m -> Printf.sprintf "abort (%s)" m
+  | Process.Timeout -> "hang"
+
+let run ~quick () =
+  ignore quick;
+  Report.heading "Section 7.3: the Squid-sim heap overflow (ill-formed input)";
+  let good = Apps.squid_good_input ~requests:50 in
+  let attack = Apps.squid_attack_input ~requests:50 in
+  let allocators =
+    [
+      ("GNU libc", fun () -> Factory.freelist ());
+      ("BDW GC", fun () -> Factory.gc ());
+      ("DieHard", fun () -> Factory.diehard ~seed:3 ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, make) ->
+        let ok = Program.run ~input:good (Apps.squid ()) (make ()) in
+        let bad = Program.run ~input:attack (Apps.squid ()) (make ()) in
+        [ name; outcome_cell ok; outcome_cell bad ])
+      allocators
+  in
+  Report.table ~header:[ "allocator"; "well-formed input"; "ill-formed input" ] rows;
+  (* survival rate across seeds for the probabilistic claim *)
+  let seeds = 20 in
+  let survived = ref 0 in
+  for seed = 1 to seeds do
+    let r = Program.run ~input:attack (Apps.squid ()) (Factory.diehard ~seed ()) in
+    if r.Process.outcome = Process.Exited 0 then incr survived
+  done;
+  Report.note "DieHard survival of the ill-formed input across %d seeds: %d/%d" seeds
+    !survived seeds

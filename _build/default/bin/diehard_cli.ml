@@ -1,0 +1,282 @@
+(* The `diehard` command-line tool: the simulated counterpart of the
+   paper's `diehard` launcher (§5), plus utilities.
+
+     diehard run prog.mc --allocator diehard --seed 7
+     diehard replicate prog.mc --replicas 3 --input in.txt
+     diehard inject prog.mc --mode dangling --trials 10
+     diehard check prog.mc
+     diehard diagnose lindsay
+     diehard trace espresso > log
+
+   Programs are MiniC source files; the names `espresso`, `squid`,
+   `lindsay` and `cfrac` refer to the built-in applications. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_source name =
+  match name with
+  | "espresso" -> Dh_workload.Apps.espresso_source
+  | "squid" -> Dh_workload.Apps.squid_source
+  | "lindsay" -> Dh_workload.Apps.lindsay_source
+  | "cfrac" -> Dh_workload.Apps.cfrac_source
+  | path -> read_file path
+
+(* --- shared arguments --- *)
+
+let prog_arg =
+  let doc =
+    "MiniC program: a file path, or a built-in name (espresso, squid, lindsay, \
+     cfrac)."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let allocator_arg =
+  let doc =
+    "Memory manager: diehard, adaptive (grow-on-demand DieHard), libc (Lea-style \
+     freelist), libc-win, or gc."
+  in
+  Arg.(value & opt (enum [ ("diehard", `Diehard); ("adaptive", `Adaptive); ("libc", `Libc); ("libc-win", `Libc_win); ("gc", `Gc) ]) `Diehard
+       & info [ "a"; "allocator" ] ~docv:"ALLOC" ~doc)
+
+let policy_arg =
+  let doc = "Access policy: raw (C semantics), failstop (CCured-style), oblivious." in
+  Arg.(value & opt (enum [ ("raw", Dh_alloc.Policy.Raw); ("failstop", Dh_alloc.Policy.Fail_stop); ("oblivious", Dh_alloc.Policy.Oblivious) ]) Dh_alloc.Policy.Raw
+       & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for the DieHard heap." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let heap_arg =
+  let doc = "DieHard heap size in bytes (twelve regions share it)." in
+  Arg.(value & opt int Diehard.Config.default.Diehard.Config.heap_size
+       & info [ "heap" ] ~docv:"BYTES" ~doc)
+
+let input_arg =
+  let doc = "Standard input for the program: a file path, or '-' for the tool's stdin." in
+  Arg.(value & opt (some string) None & info [ "input" ] ~docv:"FILE" ~doc)
+
+let bounded_arg =
+  let doc = "Enable DieHard's bounded libc replacements (strcpy/strncpy/memcpy, \u{00a7}4.4)." in
+  Arg.(value & flag & info [ "bounded-libc" ] ~doc)
+
+let fuel_arg =
+  let doc = "Execution step budget (infinite-loop cut-off)." in
+  Arg.(value & opt int 100_000_000 & info [ "fuel" ] ~docv:"STEPS" ~doc)
+
+let read_input = function
+  | None -> ""
+  | Some "-" -> In_channel.input_all stdin
+  | Some path -> read_file path
+
+let make_allocator kind ~seed ~heap_size =
+  let mem = Dh_mem.Mem.create () in
+  match kind with
+  | `Diehard ->
+    let config = Diehard.Config.v ~heap_size ~seed () in
+    Diehard.Heap.allocator (Diehard.Heap.create ~config mem)
+  | `Adaptive -> Diehard.Adaptive.allocator (Diehard.Adaptive.create ~seed mem)
+  | `Libc -> Dh_alloc.Freelist.allocator (Dh_alloc.Freelist.create mem)
+  | `Libc_win ->
+    Dh_alloc.Freelist.allocator
+      (Dh_alloc.Freelist.create ~variant:Dh_alloc.Freelist.Windows mem)
+  | `Gc -> Dh_alloc.Gc.allocator (Dh_alloc.Gc.create mem)
+
+let report_result (r : Dh_mem.Process.result) =
+  print_string r.Dh_mem.Process.output;
+  if r.Dh_mem.Process.output <> "" && not (String.ends_with ~suffix:"\n" r.Dh_mem.Process.output)
+  then print_newline ();
+  match r.Dh_mem.Process.outcome with
+  | Dh_mem.Process.Exited 0 -> 0
+  | Dh_mem.Process.Exited n ->
+    Printf.eprintf "program exited with code %d\n" n;
+    n
+  | outcome ->
+    Printf.eprintf "%s\n" (Dh_mem.Process.outcome_to_string outcome);
+    1
+
+(* --- run --- *)
+
+let run_cmd =
+  let action prog alloc_kind policy seed heap_size input bounded fuel =
+    let source = load_source prog in
+    let libc = if bounded then Dh_lang.Interp.Bounded else Dh_lang.Interp.Unchecked in
+    let program = Dh_lang.Interp.program_of_source ~libc ~name:prog source in
+    let alloc = make_allocator alloc_kind ~seed ~heap_size in
+    let result =
+      Dh_alloc.Program.run ~policy_kind:policy ~input:(read_input input) ~fuel program
+        alloc
+    in
+    exit (report_result result)
+  in
+  let doc = "Run a MiniC program under a chosen memory manager (stand-alone mode)." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const action $ prog_arg $ allocator_arg $ policy_arg $ seed_arg $ heap_arg
+      $ input_arg $ bounded_arg $ fuel_arg)
+
+(* --- replicate --- *)
+
+let replicas_arg =
+  let doc = "Number of replicas (1 or >= 3; the voter cannot decide between 2)." in
+  Arg.(value & opt int 3 & info [ "n"; "replicas" ] ~docv:"K" ~doc)
+
+let replicate_cmd =
+  let action prog replicas seed heap_size input fuel =
+    let source = load_source prog in
+    let program = Dh_lang.Interp.program_of_source ~name:prog source in
+    let config = Diehard.Config.v ~heap_size () in
+    let report =
+      Diehard.Replicated.run ~config ~replicas
+        ~seed_pool:(Dh_rng.Seed.create ~master:seed)
+        ~input:(read_input input) ~fuel program
+    in
+    print_string report.Diehard.Replicated.output;
+    Printf.eprintf "verdict: %s (%d barriers)\n"
+      (match report.Diehard.Replicated.verdict with
+      | Diehard.Replicated.Agreed -> "agreed"
+      | Diehard.Replicated.Uninit_read_detected -> "uninitialized read detected"
+      | Diehard.Replicated.No_quorum -> "no quorum"
+      | Diehard.Replicated.All_died -> "all replicas died")
+      report.Diehard.Replicated.barriers;
+    List.iter
+      (fun r ->
+        Printf.eprintf "  replica %d (seed %d): %s%s\n" r.Diehard.Replicated.id
+          r.Diehard.Replicated.seed
+          (Dh_mem.Process.outcome_to_string r.Diehard.Replicated.outcome)
+          (match r.Diehard.Replicated.eliminated with
+          | Some (Diehard.Replicated.Voted_out b) ->
+            Printf.sprintf " [voted out at barrier %d]" b
+          | Some Diehard.Replicated.Died -> " [died]"
+          | None -> ""))
+      report.Diehard.Replicated.replicas;
+    exit (match report.Diehard.Replicated.verdict with Diehard.Replicated.Agreed -> 0 | _ -> 1)
+  in
+  let doc = "Run a program under the replicated DieHard runtime with output voting (\u{00a7}5)." in
+  Cmd.v (Cmd.info "replicate" ~doc)
+    Term.(
+      const action $ prog_arg $ replicas_arg $ seed_arg $ heap_arg $ input_arg
+      $ fuel_arg)
+
+(* --- inject --- *)
+
+let mode_arg =
+  let doc = "Fault type: dangling (50% @ distance 10) or overflow (1%, 4 bytes)." in
+  Arg.(required & opt (some (enum [ ("dangling", `Dangling); ("overflow", `Overflow) ])) None
+       & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let trials_arg =
+  let doc = "Number of injected runs." in
+  Arg.(value & opt int 10 & info [ "trials" ] ~docv:"N" ~doc)
+
+let inject_cmd =
+  let action prog mode trials alloc_kind seed heap_size input fuel =
+    let source = load_source prog in
+    let program = Dh_lang.Interp.program_of_source ~name:prog source in
+    let spec =
+      match mode with
+      | `Dangling -> Dh_fault.Injector.paper_dangling
+      | `Overflow -> Dh_fault.Injector.paper_overflow
+    in
+    let tally =
+      Dh_fault.Campaign.run ~input:(read_input input) ~fuel ~trials ~spec
+        ~make_alloc:(fun ~trial ->
+          make_allocator alloc_kind ~seed:(seed + trial) ~heap_size)
+        program
+    in
+    Format.printf "%a@." Dh_fault.Campaign.pp_tally tally;
+    exit (if tally.Dh_fault.Campaign.correct = trials then 0 else 1)
+  in
+  let doc = "Run the \u{00a7}7.3.1 fault-injection campaign against a program." in
+  Cmd.v (Cmd.info "inject" ~doc)
+    Term.(
+      const action $ prog_arg $ mode_arg $ trials_arg $ allocator_arg $ seed_arg
+      $ heap_arg $ input_arg $ fuel_arg)
+
+(* --- check --- *)
+
+let check_cmd =
+  let action prog print =
+    let source = load_source prog in
+    match Dh_lang.Check.check_source source with
+    | Ok ast ->
+      if print then print_string (Dh_lang.Ast.to_string ast)
+      else Printf.printf "%s: OK\n" prog;
+      exit 0
+    | Error diagnostics ->
+      List.iter (fun d -> Printf.eprintf "%s: %s\n" prog d) diagnostics;
+      exit 1
+  in
+  let print_arg =
+    let doc = "Pretty-print the parsed program instead of just reporting OK." in
+    Arg.(value & flag & info [ "print" ] ~doc)
+  in
+  let doc = "Statically check a MiniC program (syntax, scoping, arity)." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const action $ prog_arg $ print_arg)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let action prog alloc_kind seed heap_size input fuel =
+    let source = load_source prog in
+    let program = Dh_lang.Interp.program_of_source ~name:prog source in
+    let alloc = make_allocator alloc_kind ~seed ~heap_size in
+    let tracer, traced = Dh_alloc.Trace.wrap alloc in
+    let result =
+      Dh_alloc.Program.run ~input:(read_input input) ~fuel program traced
+    in
+    (match result.Dh_mem.Process.outcome with
+    | Dh_mem.Process.Exited 0 -> ()
+    | outcome ->
+      Printf.eprintf "warning: traced run %s\n"
+        (Dh_mem.Process.outcome_to_string outcome));
+    print_string (Dh_alloc.Trace.lifetimes_to_string (Dh_alloc.Trace.lifetimes tracer));
+    exit 0
+  in
+  let doc =
+    "Record the allocation log of a program run (the 7.3.1 tracing step); the \
+     lifetime log is written to stdout."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const action $ prog_arg $ allocator_arg $ seed_arg $ heap_arg $ input_arg
+      $ fuel_arg)
+
+(* --- diagnose --- *)
+
+let diagnose_cmd =
+  let action prog replicas seed heap_size input fuel =
+    let source = load_source prog in
+    let program = Dh_lang.Interp.program_of_source ~name:prog source in
+    let report =
+      Diehard.Diagnose.run
+        ~config:(Diehard.Config.v ~heap_size ())
+        ~replicas
+        ~seed_pool:(Dh_rng.Seed.create ~master:seed)
+        ~input:(read_input input) ~fuel program
+    in
+    Format.printf "%a" Diehard.Diagnose.pp_report report;
+    exit (if report.Diehard.Diagnose.suspects = [] then 0 else 1)
+  in
+  let doc =
+    "Diagnose memory errors by differencing replica heaps (the paper's \u{00a7}9 \
+     debugging direction)."
+  in
+  Cmd.v (Cmd.info "diagnose" ~doc)
+    Term.(
+      const action $ prog_arg $ replicas_arg $ seed_arg $ heap_arg $ input_arg
+      $ fuel_arg)
+
+let main_cmd =
+  let doc = "DieHard (PLDI 2006) reproduction: probabilistic memory safety, simulated" in
+  let info = Cmd.info "diehard" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ run_cmd; replicate_cmd; inject_cmd; check_cmd; diagnose_cmd; trace_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Dh_alloc Dh_fault Dh_mem Dh_workload Diehard Format List Printf

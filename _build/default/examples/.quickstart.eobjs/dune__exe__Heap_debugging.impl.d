@@ -1,0 +1,1 @@
+examples/heap_debugging.ml: Dh_lang Dh_rng Dh_workload Diehard Format Printf

@@ -1,0 +1,1 @@
+examples/minic_tour.ml: Dh_alloc Dh_lang Dh_mem Diehard List Printf

@@ -1,0 +1,1 @@
+examples/minic_tour.mli:

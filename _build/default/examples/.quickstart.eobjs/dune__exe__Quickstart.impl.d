@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dh_alloc Dh_mem Diehard Format Printf

@@ -1,0 +1,1 @@
+examples/replicated_voting.ml: Dh_analysis Dh_lang Dh_mem Dh_rng Diehard List Printf String

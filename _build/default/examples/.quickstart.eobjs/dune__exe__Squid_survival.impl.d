@@ -1,0 +1,1 @@
+examples/squid_survival.ml: Dh_alloc Dh_mem Dh_workload Diehard List Printf String

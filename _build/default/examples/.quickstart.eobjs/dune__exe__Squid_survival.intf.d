@@ -1,0 +1,1 @@
+examples/squid_survival.mli:

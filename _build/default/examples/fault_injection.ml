@@ -1,0 +1,45 @@
+(* The §7.3.1 fault-injection experiment as a library demo: inject
+   dangling-pointer and buffer-overflow faults into espresso-sim and
+   compare the default allocator with DieHard.
+
+     dune exec examples/fault_injection.exe *)
+
+module Campaign = Dh_fault.Campaign
+module Injector = Dh_fault.Injector
+
+let freelist ~trial =
+  ignore trial;
+  Dh_alloc.Freelist.allocator (Dh_alloc.Freelist.create (Dh_mem.Mem.create ()))
+
+let diehard ~trial =
+  let mem = Dh_mem.Mem.create () in
+  Diehard.Heap.allocator
+    (Diehard.Heap.create ~config:(Diehard.Config.v ~seed:(trial + 11) ()) mem)
+
+let experiment ~name ~spec =
+  Printf.printf "=== %s ===\n" name;
+  List.iter
+    (fun (alloc_name, make_alloc) ->
+      let tally =
+        Campaign.run ~trials:10 ~spec ~make_alloc (Dh_workload.Apps.espresso ())
+      in
+      Printf.printf "  %-16s %s\n" alloc_name
+        (Format.asprintf "%a" Campaign.pp_tally tally))
+    [ ("default malloc", freelist); ("DieHard", diehard) ];
+  print_newline ()
+
+let () =
+  Printf.printf
+    "Fault injection into espresso-sim (10 runs each; the tracing run's\n\
+     output is the correctness reference).\n\n";
+  experiment
+    ~name:"dangling pointers: every other freed object freed 10 allocations early"
+    ~spec:Injector.paper_dangling;
+  experiment
+    ~name:"buffer overflows: 1% of allocations >= 32 bytes under-allocated by 4 bytes"
+    ~spec:Injector.paper_overflow;
+  Printf.printf
+    "Paper's result: with dangling injection espresso never completes under\n\
+     the default allocator but runs correctly in 9/10 runs under DieHard;\n\
+     with overflow injection it crashes 9/10 (looping in the tenth) under\n\
+     the default allocator and runs 10/10 under DieHard.\n"

@@ -1,0 +1,75 @@
+(* Heap differencing as a debugger (paper §9): "it may be possible to
+   pinpoint the exact locations of memory errors and report these as
+   part of a crash dump without the crash."
+
+   We take lindsay-sim — whose uninitialized read the replicated runtime
+   can only report as "replicas disagreed" — and ask the differ *where*
+   the disagreement lives.  Then we do the same for a buffer overflow.
+
+     dune exec examples/heap_debugging.exe *)
+
+let config = Diehard.Config.v ~heap_size:(12 * 32 * 1024) ()
+
+let diagnose ~name program =
+  Printf.printf "=== %s ===\n" name;
+  let report = Diehard.Diagnose.run ~config ~replicas:3 program in
+  Format.printf "%a\n" Diehard.Diagnose.pp_report report
+
+(* For probabilistic bugs, scan master seeds until some replica set
+   exhibits the divergence (a real debugging session would rerun with
+   more replicas instead). *)
+let diagnose_scanning ~name program =
+  Printf.printf "=== %s ===\n" name;
+  let rec scan master =
+    if master > 25 then
+      Printf.printf "  (masked in every layout tried -- the bug never bit)\n"
+    else begin
+      let report =
+        Diehard.Diagnose.run ~config ~replicas:3
+          ~seed_pool:(Dh_rng.Seed.create ~master)
+          program
+      in
+      if report.Diehard.Diagnose.suspects = [] then scan (master + 1)
+      else begin
+        Printf.printf "  (first divergent replica set: master seed %d)\n" master;
+        Format.printf "%a\n" Diehard.Diagnose.pp_report report
+      end
+    end
+  in
+  scan 1
+
+let () =
+  Printf.printf
+    "Replica heaps agree wherever the program wrote deterministic data\n\
+     (pointers are normalized by resolving them to allocation indices);\n\
+     divergent words are either uninitialized data (every replica shows\n\
+     its own random fill) or corruption (a minority was hit by a wild\n\
+     write that landed elsewhere in the other layouts).\n\n";
+
+  diagnose ~name:"lindsay-sim: the off-by-one initialization"
+    (Dh_workload.Apps.lindsay ());
+  Printf.printf
+    "lindsay allocates its 16-node state as allocation #3 and never writes\n\
+     node 15: the differ points at byte offset 120 = word 15.  No crash, no\n\
+     valgrind run -- just three replicas and a diff.\n\n";
+
+  diagnose_scanning ~name:"a one-word buffer overflow into a half-full region"
+    (Dh_lang.Interp.program_of_source ~name:"overflow"
+       {|fn main() {
+           var keep = malloc(8 * 200);
+           for (var i = 0; i < 200; i = i + 1) {
+             var p = malloc(64);
+             for (var j = 0; j < 8; j = j + 1) { p[j] = i * 100 + j; }
+             keep[i] = p;
+           }
+           var evil = malloc(64);
+           for (var j = 0; j < 8; j = j + 1) { evil[j] = 1; }
+           evil[8] = 666666;   // one word past the object
+           print_int(1);
+         }|});
+  Printf.printf
+    "The corruption signature names the replica whose layout put a live\n\
+     object next to 'evil' and the exact word that was hit; in the other\n\
+     replicas the same write landed on free space (which is why most\n\
+     seeds show nothing at all -- DieHard masking the bug is the common\n\
+     case, and the differ is how you find it anyway).\n"

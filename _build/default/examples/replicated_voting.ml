@@ -1,0 +1,67 @@
+(* The replicated DieHard runtime (paper §5): broadcast input, run k
+   differently-seeded replicas, vote on output barriers.
+
+   Demonstrates the three behaviours that matter:
+   - agreement on a correct program,
+   - surviving a replica-local crash by majority,
+   - detecting an uninitialized read because every replica's randomized
+     heap fills it differently (§3.2 / Theorem 3).
+
+     dune exec examples/replicated_voting.exe *)
+
+module Replicated = Diehard.Replicated
+module Process = Dh_mem.Process
+
+let config = Diehard.Config.v ~heap_size:(12 * 256 * 1024) ()
+
+let describe report =
+  Printf.printf "  verdict: %s after %d barrier(s); committed %d bytes\n"
+    (match report.Replicated.verdict with
+    | Replicated.Agreed -> "AGREED"
+    | Replicated.Uninit_read_detected -> "UNINITIALIZED READ DETECTED"
+    | Replicated.No_quorum -> "no quorum"
+    | Replicated.All_died -> "all replicas died")
+    report.Replicated.barriers
+    (String.length report.Replicated.output);
+  List.iter
+    (fun r ->
+      Printf.printf "    replica %d: %s%s\n" r.Replicated.id
+        (Process.outcome_to_string r.Replicated.outcome)
+        (match r.Replicated.eliminated with
+        | Some (Replicated.Voted_out b) -> Printf.sprintf " (voted out at barrier %d)" b
+        | Some Replicated.Died -> " (died)"
+        | None -> ""))
+    report.Replicated.replicas;
+  print_newline ()
+
+let run_minic ~replicas ~master source =
+  Replicated.run ~config ~replicas
+    ~seed_pool:(Dh_rng.Seed.create ~master)
+    (Dh_lang.Interp.program_of_source ~name:"example" source)
+
+let () =
+  Printf.printf "1. A correct program: all replicas agree.\n";
+  describe
+    (run_minic ~replicas:3 ~master:1
+       {|fn main() { var p = malloc(64); p[0] = 40; p[1] = 2;
+          print_int(p[0] + p[1]); free(p); }|});
+
+  Printf.printf "2. A layout-dependent crash: the majority carries the vote.\n";
+  (* Reads heap garbage (random-filled in replicated mode) and crashes
+     when its low bit is set — so different replicas crash or survive
+     depending on their seeds. *)
+  describe
+    (run_minic ~replicas:5 ~master:3
+       {|fn main() { var p = malloc(8); var garbage = *p;
+          if (garbage & 1) { var x = *0; print_int(x); }
+          print_str("survived"); }|});
+
+  Printf.printf "3. An uninitialized read reaching output: detected and stopped.\n";
+  describe
+    (run_minic ~replicas:3 ~master:5
+       {|fn main() { var p = malloc(64); print_int(p[0]); }|});
+
+  Printf.printf
+    "Theorem 3: detection probability for a B-bit read with k replicas is\n\
+    \  (2^B)! / ((2^B - k)! * 2^(Bk)); for B=16, k=3 that is %.4f%%.\n"
+    (100. *. Dh_analysis.Theorems.uninit_detect_probability ~bits:16 ~replicas:3)

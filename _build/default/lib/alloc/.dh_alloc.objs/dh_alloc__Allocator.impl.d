@@ -1,0 +1,1 @@
+lib/alloc/allocator.ml: Dh_mem Printf Stats

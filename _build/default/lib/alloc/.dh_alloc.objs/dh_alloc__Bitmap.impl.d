@@ -1,0 +1,1 @@
+lib/alloc/bitmap.ml: Bytes Char

@@ -1,0 +1,1 @@
+lib/alloc/cstring.ml: Dh_mem String

@@ -1,0 +1,1 @@
+lib/alloc/cstring.mli: Dh_mem

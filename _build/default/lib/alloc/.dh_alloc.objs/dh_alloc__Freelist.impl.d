@@ -1,0 +1,1 @@
+lib/alloc/freelist.ml: Allocator Array Dh_mem List Option Size_class Stats

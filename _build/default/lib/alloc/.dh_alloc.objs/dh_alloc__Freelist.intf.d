@@ -1,0 +1,1 @@
+lib/alloc/freelist.mli: Allocator Dh_mem

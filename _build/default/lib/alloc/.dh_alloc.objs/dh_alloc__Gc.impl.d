@@ -1,0 +1,1 @@
+lib/alloc/gc.ml: Allocator Array Dh_mem List Option Queue Size_class Stats

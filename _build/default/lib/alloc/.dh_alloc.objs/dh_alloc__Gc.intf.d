@@ -1,0 +1,1 @@
+lib/alloc/gc.mli: Allocator Dh_mem

@@ -1,0 +1,1 @@
+lib/alloc/policy.ml: Allocator Array Dh_mem Hashtbl Printf

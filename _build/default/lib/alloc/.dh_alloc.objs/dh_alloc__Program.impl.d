@@ -1,0 +1,1 @@
+lib/alloc/program.ml: Allocator Dh_mem Policy

@@ -1,0 +1,1 @@
+lib/alloc/program.mli: Allocator Dh_mem Policy

@@ -1,0 +1,1 @@
+lib/alloc/rescue.ml: Allocator Dh_mem Stats

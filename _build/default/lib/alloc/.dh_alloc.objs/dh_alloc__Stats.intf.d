@@ -1,0 +1,1 @@
+lib/alloc/stats.mli: Format

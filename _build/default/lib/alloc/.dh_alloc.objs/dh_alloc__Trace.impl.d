@@ -1,0 +1,1 @@
+lib/alloc/trace.ml: Allocator Buffer Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/alloc/trace.mli: Allocator

@@ -1,0 +1,60 @@
+(** The common allocator interface.
+
+    Every memory manager in this repository — DieHard itself, the
+    freelist baseline, the conservative GC, and the wrappers (tracing,
+    fault injection) — is packaged as a first-class value of this record
+    type, so that applications ({!Dh_lang} programs, the synthetic
+    workloads, the replicated runtime) are written once and run unchanged
+    against any of them, mirroring the paper's [LD_PRELOAD]
+    interposition. *)
+
+type object_info = {
+  base : int;  (** Start address of the object's slot. *)
+  size : int;  (** Reserved size of the slot in bytes. *)
+  allocated : bool;  (** Whether the slot currently holds a live object. *)
+}
+
+type t = {
+  name : string;
+  mem : Dh_mem.Mem.t;
+  malloc : int -> int option;
+      (** [malloc sz] returns the address of a fresh object of at least
+          [sz] bytes, or [None] when the heap is exhausted (NULL). *)
+  free : int -> unit;
+      (** Dispose of an object.  Semantics on invalid input are the
+          allocator's own: DieHard ignores, the freelist baseline exhibits
+          undefined behaviour, the GC treats every free as a no-op. *)
+  find_object : int -> object_info option;
+      (** Classify an address: the slot containing it, if the address lies
+          in this allocator's heap.  Used by access policies ({!Policy})
+          and by white-box tests. *)
+  owns : int -> bool;
+      (** Whether the address lies anywhere in this allocator's heap area
+          (live or free).  Cheaper than [find_object]. *)
+  register_roots : ((unit -> int list) -> unit) option;
+      (** For garbage-collected allocators only: register a provider of
+          root words.  Applications that keep pointers outside the heap
+          (interpreter environments, workload tables) must register them
+          or the collector will reclaim their objects. *)
+  stats : Stats.t;
+}
+
+val null : int
+(** The NULL address (0, never mapped by {!Dh_mem.Mem}). *)
+
+val malloc_exn : t -> int -> int
+(** [malloc] that raises [Failure] on heap exhaustion — convenience for
+    tests and workloads that treat OOM as a harness error. *)
+
+val calloc : t -> int -> int option
+(** [calloc t sz]: malloc then zero-fill. *)
+
+val realloc : t -> int -> int -> int option
+(** [realloc t ptr sz] with C semantics: [realloc t null sz] is
+    [malloc sz]; [realloc t ptr 0] frees and returns NULL; otherwise a
+    new object is allocated, [min old_usable sz] bytes are copied, and
+    the old object is freed.  The old usable size comes from
+    [find_object]; a [ptr] the allocator does not recognise behaves like
+    C's undefined [realloc] of a foreign pointer — the copy is skipped
+    and the pointer is passed to [free] (whose behaviour is the
+    allocator's own). *)

@@ -1,0 +1,55 @@
+type t = { bits : Bytes.t; length : int; mutable cardinal : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitmap.create: negative size";
+  { bits = Bytes.make ((n + 7) / 8) '\000'; length = n; cardinal = 0 }
+
+let length t = t.length
+
+let check t i =
+  if i < 0 || i >= t.length then invalid_arg "Bitmap: index out of range"
+
+let get t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  check t i;
+  let b = Char.code (Bytes.get t.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  if b land mask = 0 then begin
+    Bytes.set t.bits (i lsr 3) (Char.chr (b lor mask));
+    t.cardinal <- t.cardinal + 1
+  end
+
+let clear t i =
+  check t i;
+  let b = Char.code (Bytes.get t.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  if b land mask <> 0 then begin
+    Bytes.set t.bits (i lsr 3) (Char.chr (b land lnot mask land 0xFF));
+    t.cardinal <- t.cardinal - 1
+  end
+
+let cardinal t = t.cardinal
+
+let clear_all t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.cardinal <- 0
+
+let iter_set t f =
+  for byte = 0 to Bytes.length t.bits - 1 do
+    let b = Char.code (Bytes.get t.bits byte) in
+    if b <> 0 then
+      for bit = 0 to 7 do
+        if b land (1 lsl bit) <> 0 then begin
+          let i = (byte lsl 3) + bit in
+          if i < t.length then f i
+        end
+      done
+  done
+
+let first_clear t =
+  let n = t.length in
+  let rec go i = if i >= n then None else if not (get t i) then Some i else go (i + 1) in
+  go 0

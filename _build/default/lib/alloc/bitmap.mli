@@ -1,0 +1,30 @@
+(** Allocation bitmaps.
+
+    DieHard's only per-object metadata is one bit in a per-region bitmap
+    (paper §4.1: "one bit always stands for one object").  The bitmap lives
+    outside the simulated heap — in ordinary OCaml memory — which is
+    precisely the metadata segregation the paper relies on: no simulated
+    store can corrupt it. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-clear bitmap of [n] bits. *)
+
+val length : t -> int
+
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+
+val cardinal : t -> int
+(** Number of set bits (maintained incrementally, O(1)). *)
+
+val clear_all : t -> unit
+
+val iter_set : t -> (int -> unit) -> unit
+(** Apply to every set index, ascending. *)
+
+val first_clear : t -> int option
+(** Lowest clear index, if any — used by deterministic baseline policies in
+    the ablation benches. *)

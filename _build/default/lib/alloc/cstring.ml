@@ -1,0 +1,49 @@
+module Mem = Dh_mem.Mem
+
+let strlen mem addr =
+  let rec go n = if Mem.read8 mem (addr + n) = 0 then n else go (n + 1) in
+  go 0
+
+let strcpy mem ~dst ~src =
+  let rec go i =
+    let c = Mem.read8 mem (src + i) in
+    Mem.write8 mem (dst + i) c;
+    if c <> 0 then go (i + 1)
+  in
+  go 0
+
+let strncpy mem ~dst ~src ~n =
+  let rec go i =
+    if i < n then begin
+      let c = Mem.read8 mem (src + i) in
+      Mem.write8 mem (dst + i) c;
+      if c = 0 then
+        (* C's strncpy pads the remainder with NULs. *)
+        for j = i + 1 to n - 1 do
+          Mem.write8 mem (dst + j) 0
+        done
+      else go (i + 1)
+    end
+  in
+  go 0
+
+let strcmp mem a b =
+  let rec go i =
+    let ca = Mem.read8 mem (a + i) and cb = Mem.read8 mem (b + i) in
+    if ca <> cb then compare ca cb else if ca = 0 then 0 else go (i + 1)
+  in
+  go 0
+
+let memcpy mem ~dst ~src ~n =
+  for i = 0 to n - 1 do
+    Mem.write8 mem (dst + i) (Mem.read8 mem (src + i))
+  done
+
+let memset mem ~dst ~c ~n =
+  for i = 0 to n - 1 do
+    Mem.write8 mem (dst + i) c
+  done
+
+let write_string mem ~addr s =
+  Mem.write_bytes mem ~addr s;
+  Mem.write8 mem (addr + String.length s) 0

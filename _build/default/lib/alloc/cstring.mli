@@ -1,0 +1,26 @@
+(** Unsafe C string/memory routines over simulated memory.
+
+    These are the ordinary, unchecked library functions ([strcpy],
+    [strncpy], [memcpy], …): they trust their arguments completely, so a
+    too-small destination is overflowed exactly as in C.  DieHard's
+    bounded replacements live in {!Diehard.Shim} (paper §4.4); keeping the
+    unsafe versions here lets experiments toggle the replacement on and
+    off (the §7.1 runs disable it to isolate randomization's protection). *)
+
+val strlen : Dh_mem.Mem.t -> int -> int
+(** Length of the NUL-terminated string at the address. *)
+
+val strcpy : Dh_mem.Mem.t -> dst:int -> src:int -> unit
+(** Copy including the terminating NUL.  No bounds checking. *)
+
+val strncpy : Dh_mem.Mem.t -> dst:int -> src:int -> n:int -> unit
+(** Copy at most [n] bytes, NUL-padding as C does.  Trusts [n]. *)
+
+val strcmp : Dh_mem.Mem.t -> int -> int -> int
+
+val memcpy : Dh_mem.Mem.t -> dst:int -> src:int -> n:int -> unit
+
+val memset : Dh_mem.Mem.t -> dst:int -> c:int -> n:int -> unit
+
+val write_string : Dh_mem.Mem.t -> addr:int -> string -> unit
+(** Store an OCaml string plus terminating NUL at [addr]. *)

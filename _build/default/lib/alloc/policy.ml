@@ -1,0 +1,95 @@
+module Mem = Dh_mem.Mem
+
+type kind = Raw | Fail_stop | Oblivious
+
+type t = {
+  kind : kind;
+  alloc : Allocator.t;
+  mutable manufactured : int;
+  mutable dropped : int;
+  (* Fail_stop only: bytes of the heap the program has written, so reads
+     of never-initialized memory can be flagged (CCured-style definite
+     initialization). *)
+  written : (int, unit) Hashtbl.t;
+}
+
+let make ?(kind = Raw) alloc =
+  { kind; alloc; manufactured = 0; dropped = 0; written = Hashtbl.create 64 }
+
+let kind t = t.kind
+let allocator t = t.alloc
+let manufactured_reads t = t.manufactured
+let dropped_writes t = t.dropped
+
+(* Is [addr .. addr+width) inside a currently-allocated heap object? *)
+let heap_access_ok t addr width =
+  match t.alloc.Allocator.find_object addr with
+  | Some { Allocator.base; size; allocated } ->
+    allocated && addr + width <= base + size
+  | None -> false
+
+let abort_access addr width what =
+  raise
+    (Dh_mem.Process.Abort
+       (Printf.sprintf "bounds check failed: %s of %d byte(s) at 0x%x" what width addr))
+
+(* Failure-oblivious value manufacturing: cycle through a small sequence of
+   plausible values, as in Rinard et al.'s implementation. *)
+let manufacture t =
+  let sequence = [| 0; 1; 2 |] in
+  let v = sequence.(t.manufactured mod Array.length sequence) in
+  t.manufactured <- t.manufactured + 1;
+  v
+
+let mark_written t addr width =
+  for i = 0 to width - 1 do
+    Hashtbl.replace t.written (addr + i) ()
+  done
+
+let all_written t addr width =
+  let rec go i = i = width || (Hashtbl.mem t.written (addr + i) && go (i + 1)) in
+  go 0
+
+let mediate_load t addr width raw =
+  match t.kind with
+  | Raw -> raw ()
+  | Fail_stop ->
+    if t.alloc.Allocator.owns addr then
+      if not (heap_access_ok t addr width) then abort_access addr width "load"
+      else if not (all_written t addr width) then
+        raise
+          (Dh_mem.Process.Abort
+             (Printf.sprintf "uninitialized read of %d byte(s) at 0x%x" width addr))
+      else raw ()
+    else raw ()
+  | Oblivious ->
+    if t.alloc.Allocator.owns addr then
+      if heap_access_ok t addr width then raw () else manufacture t
+    else if Mem.is_mapped t.alloc.Allocator.mem addr then raw ()
+    else manufacture t
+
+let mediate_store t addr width raw =
+  match t.kind with
+  | Raw -> raw ()
+  | Fail_stop ->
+    if t.alloc.Allocator.owns addr then
+      if heap_access_ok t addr width then begin
+        mark_written t addr width;
+        raw ()
+      end
+      else abort_access addr width "store"
+    else raw ()
+  | Oblivious ->
+    if t.alloc.Allocator.owns addr then
+      if heap_access_ok t addr width then raw () else t.dropped <- t.dropped + 1
+    else if Mem.is_mapped t.alloc.Allocator.mem addr then raw ()
+    else t.dropped <- t.dropped + 1
+
+let load t addr = mediate_load t addr 8 (fun () -> Mem.read64 t.alloc.Allocator.mem addr)
+let load8 t addr = mediate_load t addr 1 (fun () -> Mem.read8 t.alloc.Allocator.mem addr)
+
+let store t addr v =
+  mediate_store t addr 8 (fun () -> Mem.write64 t.alloc.Allocator.mem addr v)
+
+let store8 t addr v =
+  mediate_store t addr 1 (fun () -> Mem.write8 t.alloc.Allocator.mem addr v)

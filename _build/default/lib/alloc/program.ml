@@ -1,0 +1,29 @@
+module Process = Dh_mem.Process
+
+type context = {
+  alloc : Allocator.t;
+  policy : Policy.t;
+  input : string;
+  out : Process.Out.t;
+  now : int;
+  fuel : Process.Fuel.t;
+}
+
+type t = { name : string; main : context -> unit }
+
+let make ~name main = { name; main }
+
+let run ?(policy_kind = Policy.Raw) ?(input = "") ?(now = 0) ?(fuel = 100_000_000)
+    program alloc =
+  Process.run (fun out ->
+      let context =
+        {
+          alloc;
+          policy = Policy.make ~kind:policy_kind alloc;
+          input;
+          out;
+          now;
+          fuel = Process.Fuel.create ~budget:fuel;
+        }
+      in
+      program.main context)

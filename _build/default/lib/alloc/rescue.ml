@@ -1,0 +1,15 @@
+let wrap ?(pad = 64) ?(defer_frees = true) ?(zero_fill = true) (alloc : Allocator.t) =
+  let malloc sz =
+    match alloc.Allocator.malloc (sz + pad) with
+    | None -> None
+    | Some addr ->
+      if zero_fill then Dh_mem.Mem.fill alloc.Allocator.mem ~addr ~len:(sz + pad) '\000';
+      Some addr
+  in
+  let free addr =
+    if defer_frees then
+      alloc.Allocator.stats.Stats.ignored_frees <-
+        alloc.Allocator.stats.Stats.ignored_frees + 1
+    else alloc.Allocator.free addr
+  in
+  { alloc with Allocator.name = alloc.Allocator.name ^ "+rescue"; malloc; free }

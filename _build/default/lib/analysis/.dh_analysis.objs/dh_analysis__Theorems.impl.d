@@ -1,0 +1,1 @@
+lib/analysis/theorems.ml: Dh_alloc Float List

@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Array Dh_alloc Dh_mem Dh_rng Int List Map Option

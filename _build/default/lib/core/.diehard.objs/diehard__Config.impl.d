@@ -1,0 +1,1 @@
+lib/core/config.ml: Dh_alloc Dh_mem

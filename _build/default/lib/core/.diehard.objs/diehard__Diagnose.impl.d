@@ -1,0 +1,1 @@
+lib/core/diagnose.ml: Array Config Dh_alloc Dh_mem Dh_rng Format Hashtbl Heap List Option String

@@ -1,0 +1,1 @@
+lib/core/diagnose.mli: Config Dh_alloc Dh_rng Format

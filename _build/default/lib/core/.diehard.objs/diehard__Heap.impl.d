@@ -1,0 +1,1 @@
+lib/core/heap.ml: Array Config Dh_alloc Dh_mem Dh_rng Format Int Map Option String

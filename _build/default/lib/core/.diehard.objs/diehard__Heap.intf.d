@@ -1,0 +1,1 @@
+lib/core/heap.mli: Config Dh_alloc Dh_mem Dh_rng Format

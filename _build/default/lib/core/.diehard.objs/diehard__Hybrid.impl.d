@@ -1,0 +1,1 @@
+lib/core/hybrid.ml: Config Dh_alloc Heap Printf

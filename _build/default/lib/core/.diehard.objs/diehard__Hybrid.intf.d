@@ -1,0 +1,1 @@
+lib/core/hybrid.mli: Config Dh_alloc Dh_mem Heap

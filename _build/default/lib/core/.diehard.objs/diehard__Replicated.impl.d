@@ -1,0 +1,1 @@
+lib/core/replicated.ml: Array Buffer Config Dh_alloc Dh_mem Dh_rng Hashtbl Heap List String Voter

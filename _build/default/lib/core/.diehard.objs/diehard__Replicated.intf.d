@@ -1,0 +1,1 @@
+lib/core/replicated.mli: Config Dh_alloc Dh_mem Dh_rng

@@ -1,0 +1,1 @@
+lib/core/shim.ml: Dh_alloc Dh_mem Heap

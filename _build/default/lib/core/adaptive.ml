@@ -1,0 +1,229 @@
+module Mem = Dh_mem.Mem
+module Mwc = Dh_rng.Mwc
+module Size_class = Dh_alloc.Size_class
+module Bitmap = Dh_alloc.Bitmap
+module Stats = Dh_alloc.Stats
+module Allocator = Dh_alloc.Allocator
+
+type miniheap = {
+  base : int;
+  capacity : int;  (* slots *)
+  bitmap : Bitmap.t;
+  mutable in_use : int;
+}
+
+type class_state = {
+  class_ : int;
+  mutable miniheaps : miniheap list;  (* newest first *)
+  mutable total_capacity : int;
+  mutable total_in_use : int;
+  mutable next_objects : int;  (* capacity of the next miniheap to map *)
+}
+
+type large_object = { payload : int; size : int; map_base : int; map_len : int }
+
+module Imap = Map.Make (Int)
+
+type t = {
+  mem : Mem.t;
+  multiplier : int;
+  min_headroom : int;
+  replicated : bool;
+  rng : Mwc.t;
+  classes : class_state array;
+  mutable large : large_object Imap.t;
+  stats : Stats.t;
+}
+
+let create ?(multiplier = 2) ?(initial_objects = 64) ?(min_headroom = 0)
+    ?(replicated = false) ?(seed = 1) mem =
+  if multiplier < 2 then invalid_arg "Adaptive.create: multiplier must be >= 2";
+  if initial_objects < 2 then invalid_arg "Adaptive.create: initial_objects too small";
+  if min_headroom < 0 then invalid_arg "Adaptive.create: negative headroom";
+  {
+    mem;
+    multiplier;
+    min_headroom;
+    replicated;
+    rng = Mwc.create ~seed;
+    classes =
+      Array.init Size_class.count (fun class_ ->
+          {
+            class_;
+            miniheaps = [];
+            total_capacity = 0;
+            total_in_use = 0;
+            next_objects = initial_objects;
+          });
+    large = Imap.empty;
+    stats = Stats.create ();
+  }
+
+let stats t = t.stats
+
+(* Map a new miniheap for the class, doubling the growth target. *)
+let grow t cls =
+  let capacity = cls.next_objects in
+  cls.next_objects <- capacity * 2;
+  let len = capacity * Size_class.size cls.class_ in
+  let base = Mem.mmap t.mem len in
+  if t.replicated then Mem.fill_random t.mem ~addr:base ~len t.rng;
+  let mh = { base; capacity; bitmap = Bitmap.create capacity; in_use = 0 } in
+  cls.miniheaps <- mh :: cls.miniheaps;
+  cls.total_capacity <- cls.total_capacity + capacity
+
+(* Pick the miniheap containing the class-global slot index and return
+   (miniheap, local index). *)
+let locate_slot cls index =
+  let rec go mhs index =
+    match mhs with
+    | [] -> invalid_arg "Adaptive.locate_slot: index out of range"
+    | mh :: rest -> if index < mh.capacity then (mh, index) else go rest (index - mh.capacity)
+  in
+  go cls.miniheaps index
+
+(* --- large objects: identical policy to the fixed heap --- *)
+
+let malloc_large t sz =
+  let body = (sz + Mem.page_size - 1) / Mem.page_size * Mem.page_size in
+  let map_len = body + (2 * Mem.page_size) in
+  let map_base = Mem.mmap t.mem map_len in
+  Mem.protect t.mem ~addr:map_base ~len:Mem.page_size Mem.No_access;
+  Mem.protect t.mem ~addr:(map_base + Mem.page_size + body) ~len:Mem.page_size
+    Mem.No_access;
+  let payload = map_base + Mem.page_size in
+  if t.replicated then Mem.fill_random t.mem ~addr:payload ~len:body t.rng;
+  t.large <- Imap.add payload { payload; size = body; map_base; map_len } t.large;
+  Stats.on_malloc t.stats ~requested:sz ~reserved:body;
+  Some payload
+
+let free_large t addr =
+  match Imap.find_opt addr t.large with
+  | Some lo ->
+    t.large <- Imap.remove addr t.large;
+    Mem.munmap t.mem lo.map_base;
+    Stats.on_free t.stats ~reserved:lo.size
+  | None -> t.stats.Stats.ignored_frees <- t.stats.Stats.ignored_frees + 1
+
+let large_containing t addr =
+  match Imap.find_last_opt (fun payload -> payload <= addr) t.large with
+  | Some (_, lo) when addr < lo.payload + lo.size -> Some lo
+  | Some _ | None -> None
+
+(* --- small objects --- *)
+
+let malloc_small t sz class_ =
+  let cls = t.classes.(class_) in
+  (* Grow until the class can absorb one more object below 1/M and still
+     keep the configured free headroom (the protection dial). *)
+  while
+    (cls.total_in_use + 1) * t.multiplier > cls.total_capacity
+    || cls.total_capacity - (cls.total_in_use + 1) < t.min_headroom
+  do
+    grow t cls
+  done;
+  let size = Size_class.size class_ in
+  let rec probe () =
+    t.stats.Stats.probes <- t.stats.Stats.probes + 1;
+    let index = Mwc.below t.rng cls.total_capacity in
+    let mh, local = locate_slot cls index in
+    if Bitmap.get mh.bitmap local then probe () else (mh, local)
+  in
+  let mh, local = probe () in
+  Bitmap.set mh.bitmap local;
+  mh.in_use <- mh.in_use + 1;
+  cls.total_in_use <- cls.total_in_use + 1;
+  let addr = mh.base + (local * size) in
+  if t.replicated then Mem.fill_random t.mem ~addr ~len:size t.rng;
+  Stats.on_malloc t.stats ~requested:sz ~reserved:size;
+  Some addr
+
+let malloc t sz =
+  if sz <= 0 then None
+  else
+    match Size_class.of_size sz with
+    | Some class_ -> malloc_small t sz class_
+    | None -> malloc_large t sz
+
+let miniheap_containing t addr =
+  let found = ref None in
+  Array.iter
+    (fun cls ->
+      if !found = None then
+        List.iter
+          (fun mh ->
+            if
+              !found = None && addr >= mh.base
+              && addr < mh.base + (mh.capacity * Size_class.size cls.class_)
+            then found := Some (cls, mh))
+          cls.miniheaps)
+    t.classes;
+  !found
+
+let free t addr =
+  if addr = Allocator.null then ()
+  else
+    match miniheap_containing t addr with
+    | Some (cls, mh) ->
+      let size = Size_class.size cls.class_ in
+      let offset = addr - mh.base in
+      if Size_class.is_aligned ~offset ~class_:cls.class_ then begin
+        let local = offset / size in
+        if Bitmap.get mh.bitmap local then begin
+          Bitmap.clear mh.bitmap local;
+          mh.in_use <- mh.in_use - 1;
+          cls.total_in_use <- cls.total_in_use - 1;
+          Stats.on_free t.stats ~reserved:size
+        end
+        else t.stats.Stats.ignored_frees <- t.stats.Stats.ignored_frees + 1
+      end
+      else t.stats.Stats.ignored_frees <- t.stats.Stats.ignored_frees + 1
+    | None -> free_large t addr
+
+let find_object t addr =
+  match miniheap_containing t addr with
+  | Some (cls, mh) ->
+    let size = Size_class.size cls.class_ in
+    let local = (addr - mh.base) / size in
+    Some
+      {
+        Allocator.base = mh.base + (local * size);
+        size;
+        allocated = Bitmap.get mh.bitmap local;
+      }
+  | None -> (
+    match large_containing t addr with
+    | Some lo -> Some { Allocator.base = lo.payload; size = lo.size; allocated = true }
+    | None -> None)
+
+let owns t addr =
+  Option.is_some (miniheap_containing t addr) || Option.is_some (large_containing t addr)
+
+let allocator t =
+  {
+    Allocator.name = "diehard-adaptive";
+    mem = t.mem;
+    malloc = malloc t;
+    free = free t;
+    find_object = find_object t;
+    owns = owns t;
+    register_roots = None;
+    stats = t.stats;
+  }
+
+let class_capacity t ~class_ = t.classes.(class_).total_capacity
+let class_in_use t ~class_ = t.classes.(class_).total_in_use
+let miniheap_count t ~class_ = List.length t.classes.(class_).miniheaps
+
+let class_fullness t ~class_ =
+  let cls = t.classes.(class_) in
+  if cls.total_capacity = 0 then 0.
+  else float_of_int cls.total_in_use /. float_of_int cls.total_capacity
+
+let mapped_small_bytes t =
+  Array.fold_left
+    (fun acc cls ->
+      List.fold_left
+        (fun acc mh -> acc + (mh.capacity * Size_class.size cls.class_))
+        acc cls.miniheaps)
+    0 t.classes

@@ -1,0 +1,49 @@
+(** DieHard configuration.
+
+    The paper's two knobs are the heap expansion factor [M] — the heap is
+    [M] times larger than the maximum live size it can serve — and, for
+    the replicated mode, the number of replicas.  The experiments (§7.1)
+    use a 384 MB heap with up to 1/2 available for allocation, i.e.
+    [M = 2]. *)
+
+type t = {
+  multiplier : int;
+      (** M ≥ 2: each size-class region may become at most [1/M] full. *)
+  heap_size : int;
+      (** Total small-object heap size H in bytes, divided evenly among
+          the twelve size-class regions.  Regions are mapped lazily, so a
+          large configured heap costs only what is touched. *)
+  replicated : bool;
+      (** Fill the heap and every allocated object with random values —
+          required to detect uninitialized reads across replicas (§4.1,
+          §4.2).  Off in stand-alone mode. *)
+  seed : int;  (** Seed for the allocator's {!Dh_rng.Mwc} generator. *)
+}
+
+val default : t
+(** [M = 2], 24 MiB heap (a simulation-friendly scaling of the paper's
+    384 MB default — same M, same twelve regions), stand-alone, seed 1. *)
+
+val paper_default : t
+(** The paper's experimental configuration: 384 MB heap, [M = 2]. *)
+
+val v :
+  ?multiplier:int ->
+  ?heap_size:int ->
+  ?replicated:bool ->
+  ?seed:int ->
+  unit ->
+  t
+(** Build a configuration, defaulting missing fields from {!default}.
+    Raises [Invalid_argument] if [multiplier < 2] or the heap is too small
+    to give each region one object of the largest size class. *)
+
+val region_size : t -> int
+(** Bytes per size-class region ([heap_size / 12], page-rounded down). *)
+
+val objects_in_region : t -> class_:int -> int
+(** Capacity in objects of the region for [class_]. *)
+
+val threshold : t -> class_:int -> int
+(** Maximum live objects the region for [class_] may hold
+    ([objects / M]) — allocation beyond this returns NULL (§4.2). *)

@@ -1,0 +1,194 @@
+module Mem = Dh_mem.Mem
+module Program = Dh_alloc.Program
+module Allocator = Dh_alloc.Allocator
+
+type kind = Uninit_like | Corruption_like of int list
+
+type suspect = { alloc_index : int; size : int; offset : int; kind : kind }
+
+type report = {
+  replicas : int;
+  objects_compared : int;
+  words_compared : int;
+  suspects : suspect list;
+}
+
+(* One replica's end-of-run view: the live objects by allocation index,
+   and enough structure to resolve arbitrary values back to (allocation
+   index, interior offset). *)
+type replica_view = {
+  mem : Mem.t;
+  (* alloc_index -> (address, requested size) *)
+  live : (int, int * int) Hashtbl.t;
+  (* sorted (base, reserved_end, alloc_index) for pointer resolution *)
+  extents : (int * int * int) array;
+}
+
+let snapshot_replica ~config ~seed ~input ~fuel program =
+  let mem = Mem.create () in
+  let heap = Heap.create ~config:{ config with Config.seed; replicated = true } mem in
+  let alloc = Heap.allocator heap in
+  (* Track allocation order and liveness ourselves (the injected faults
+     and frees of the program must be reflected exactly). *)
+  let clock = ref 0 in
+  let live : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let by_addr : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let malloc sz =
+    match alloc.Allocator.malloc sz with
+    | None -> None
+    | Some addr ->
+      incr clock;
+      Hashtbl.replace live !clock (addr, sz);
+      Hashtbl.replace by_addr addr !clock;
+      Some addr
+  in
+  let free addr =
+    (match Hashtbl.find_opt by_addr addr with
+    | Some index ->
+      Hashtbl.remove by_addr addr;
+      Hashtbl.remove live index
+    | None -> ());
+    alloc.Allocator.free addr
+  in
+  let instrumented = { alloc with Allocator.malloc; free } in
+  let result = Program.run ?fuel ~input program instrumented in
+  let extents =
+    Hashtbl.fold
+      (fun index (addr, sz) acc ->
+        let reserved =
+          match alloc.Allocator.find_object addr with
+          | Some { Allocator.size; _ } -> size
+          | None -> sz
+        in
+        (addr, addr + reserved, index) :: acc)
+      live []
+    |> Array.of_list
+  in
+  Array.sort (fun (a, _, _) (b, _, _) -> compare a b) extents;
+  (result, { mem; live; extents })
+
+(* Resolve a word value against a replica's live objects: Some
+   (alloc_index, offset) when it points into one. *)
+let resolve view v =
+  let n = Array.length view.extents in
+  let rec search lo hi =
+    if lo > hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let base, stop, index = view.extents.(mid) in
+      if v < base then search lo (mid - 1)
+      else if v >= stop then search (mid + 1) hi
+      else Some (index, v - base)
+    end
+  in
+  search 0 (n - 1)
+
+let all_equal = function
+  | [] -> true
+  | x :: rest -> List.for_all (fun y -> y = x) rest
+
+(* Each replica's word is normalized to a key: a resolved pointer
+   (logical object + offset) or the raw value.  Agreement on keys means
+   the word is consistent; otherwise a majority of agreeing keys marks
+   the disagreeing replicas as corruption victims, and no majority at
+   all is the uninitialized-data signature. *)
+let classify_divergence ~values ~resolved =
+  let keys =
+    List.map2
+      (fun r v -> match r with Some (i, off) -> `Ptr (i, off) | None -> `Raw v)
+      resolved values
+  in
+  if all_equal keys then None
+  else begin
+    let counts = Hashtbl.create 7 in
+    List.iteri
+      (fun i key ->
+        let ids = Option.value ~default:[] (Hashtbl.find_opt counts key) in
+        Hashtbl.replace counts key (i :: ids))
+      keys;
+    let majority = ref [] in
+    Hashtbl.iter
+      (fun _ ids -> if List.length ids > List.length !majority then majority := ids)
+      counts;
+    if List.length !majority >= 2 then begin
+      let outliers =
+        Hashtbl.fold
+          (fun _ ids acc -> if ids == !majority then acc else ids @ acc)
+          counts []
+      in
+      Some (Corruption_like (List.sort compare outliers))
+    end
+    else Some Uninit_like
+  end
+
+let run ?(config = Config.default) ?(replicas = 3)
+    ?(seed_pool = Dh_rng.Seed.create ~master:0xD1A6) ?(input = "") ?fuel program =
+  if replicas < 2 then invalid_arg "Diagnose.run: need at least two replicas to diff";
+  let views =
+    List.init replicas (fun _ ->
+        snapshot_replica ~config ~seed:(Dh_rng.Seed.fresh seed_pool) ~input ~fuel
+          program)
+  in
+  let views = List.map snd views in
+  (* Objects live in every replica. *)
+  let common_indices =
+    match views with
+    | [] -> []
+    | first :: rest ->
+      Hashtbl.fold
+        (fun index (_, sz) acc ->
+          if List.for_all (fun v -> Hashtbl.mem v.live index) rest then
+            (index, sz) :: acc
+          else acc)
+        first.live []
+      |> List.sort compare
+  in
+  let suspects = ref [] in
+  let words = ref 0 in
+  List.iter
+    (fun (index, sz) ->
+      (* whole words only: the padding after a size-truncated tail holds
+         each replica's random fill and would always false-positive *)
+      let word_count = sz / 8 in
+      for w = 0 to word_count - 1 do
+        incr words;
+        let values =
+          List.map
+            (fun view ->
+              let addr, _ = Hashtbl.find view.live index in
+              Mem.read64 view.mem (addr + (8 * w)))
+            views
+        in
+        if not (all_equal values) then begin
+          let resolved = List.map2 (fun view v -> resolve view v) views values in
+          match classify_divergence ~values ~resolved with
+          | None -> ()
+          | Some kind ->
+            suspects := { alloc_index = index; size = sz; offset = 8 * w; kind } :: !suspects
+        end
+      done)
+    common_indices;
+  {
+    replicas;
+    objects_compared = List.length common_indices;
+    words_compared = !words;
+    suspects = List.rev !suspects;
+  }
+
+let pp_kind ppf = function
+  | Uninit_like -> Format.pp_print_string ppf "uninitialized-data signature"
+  | Corruption_like outliers ->
+    Format.fprintf ppf "corruption signature (outlier replica%s %s)"
+      (if List.length outliers = 1 then "" else "s")
+      (String.concat "," (List.map string_of_int outliers))
+
+let pp_report ppf r =
+  Format.fprintf ppf "diffed %d objects (%d words) across %d replicas:@."
+    r.objects_compared r.words_compared r.replicas;
+  if r.suspects = [] then Format.fprintf ppf "  no divergent heap state@."
+  else
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "  allocation #%d (%d bytes), offset %d: %a@." s.alloc_index
+          s.size s.offset pp_kind s.kind)
+      r.suspects

@@ -1,0 +1,256 @@
+module Mem = Dh_mem.Mem
+module Mwc = Dh_rng.Mwc
+module Size_class = Dh_alloc.Size_class
+module Bitmap = Dh_alloc.Bitmap
+module Stats = Dh_alloc.Stats
+module Allocator = Dh_alloc.Allocator
+
+type region = {
+  class_ : int;
+  capacity : int;  (* slots *)
+  threshold : int;  (* capacity / M *)
+  bitmap : Bitmap.t;
+  mutable base : int;  (* 0 until lazily mapped *)
+  mutable in_use : int;
+}
+
+type large_object = { payload : int; size : int; map_base : int; map_len : int }
+
+module Imap = Map.Make (Int)
+
+type t = {
+  config : Config.t;
+  mem : Mem.t;
+  rng : Mwc.t;
+  regions : region array;
+  mutable large : large_object Imap.t;  (* keyed by payload base *)
+  stats : Stats.t;
+}
+
+let create ?(config = Config.default) mem =
+  let regions =
+    Array.init Size_class.count (fun class_ ->
+        let capacity = Config.objects_in_region config ~class_ in
+        {
+          class_;
+          capacity;
+          threshold = Config.threshold config ~class_;
+          bitmap = Bitmap.create capacity;
+          base = 0;
+          in_use = 0;
+        })
+  in
+  {
+    config;
+    mem;
+    rng = Mwc.create ~seed:config.Config.seed;
+    regions;
+    large = Imap.empty;
+    stats = Stats.create ();
+  }
+
+let config t = t.config
+let stats t = t.stats
+let rng t = t.rng
+
+(* Lazily map a region; in replicated mode, fill it with random values
+   (the DieHardInitHeap random fill of Figure 2, done per region because
+   regions are mapped on demand). *)
+let ensure_mapped t region =
+  if region.base = 0 then begin
+    let len = region.capacity * Size_class.size region.class_ in
+    region.base <- Mem.mmap t.mem len;
+    if t.config.Config.replicated then
+      Mem.fill_random t.mem ~addr:region.base ~len t.rng
+  end
+
+(* --- large objects (> 16 KB): individual mappings with guard pages --- *)
+
+let malloc_large t sz =
+  let body = (sz + Mem.page_size - 1) / Mem.page_size * Mem.page_size in
+  let map_len = body + (2 * Mem.page_size) in
+  let map_base = Mem.mmap t.mem map_len in
+  Mem.protect t.mem ~addr:map_base ~len:Mem.page_size Mem.No_access;
+  Mem.protect t.mem ~addr:(map_base + Mem.page_size + body) ~len:Mem.page_size
+    Mem.No_access;
+  let payload = map_base + Mem.page_size in
+  if t.config.Config.replicated then
+    Mem.fill_random t.mem ~addr:payload ~len:body t.rng;
+  t.large <- Imap.add payload { payload; size = body; map_base; map_len } t.large;
+  Stats.on_malloc t.stats ~requested:sz ~reserved:body;
+  Some payload
+
+(* freeLargeObject: only unmap objects our own table vouches for;
+   everything else is ignored (§4.3). *)
+let free_large t addr =
+  match Imap.find_opt addr t.large with
+  | Some lo ->
+    t.large <- Imap.remove addr t.large;
+    Mem.munmap t.mem lo.map_base;
+    Stats.on_free t.stats ~reserved:lo.size
+  | None -> t.stats.Stats.ignored_frees <- t.stats.Stats.ignored_frees + 1
+
+let large_containing t addr =
+  match Imap.find_last_opt (fun payload -> payload <= addr) t.large with
+  | Some (_, lo) when addr < lo.payload + lo.size -> Some lo
+  | Some _ | None -> None
+
+(* --- small objects: randomized bitmap allocation (Figure 2) --- *)
+
+let malloc_small t sz class_ =
+  let region = t.regions.(class_) in
+  if region.in_use >= region.threshold then begin
+    (* At threshold: this size class offers no more memory (§4.2). *)
+    t.stats.Stats.failed_mallocs <- t.stats.Stats.failed_mallocs + 1;
+    None
+  end
+  else begin
+    ensure_mapped t region;
+    let size = Size_class.size class_ in
+    (* Probe for a free slot, like probing into a hash table.  Because the
+       region is at most 1/M full, the expected number of probes is
+       1/(1 - 1/M). *)
+    let rec probe () =
+      t.stats.Stats.probes <- t.stats.Stats.probes + 1;
+      let index = Mwc.below t.rng region.capacity in
+      if Bitmap.get region.bitmap index then probe () else index
+    in
+    let index = probe () in
+    Bitmap.set region.bitmap index;
+    region.in_use <- region.in_use + 1;
+    let addr = region.base + (index * size) in
+    if t.config.Config.replicated then Mem.fill_random t.mem ~addr ~len:size t.rng;
+    Stats.on_malloc t.stats ~requested:sz ~reserved:size;
+    Some addr
+  end
+
+let malloc t sz =
+  if sz <= 0 then None
+  else
+    match Size_class.of_size sz with
+    | Some class_ -> malloc_small t sz class_
+    | None -> malloc_large t sz
+
+let region_containing t addr =
+  let found = ref None in
+  Array.iter
+    (fun region ->
+      if
+        !found = None && region.base <> 0 && addr >= region.base
+        && addr < region.base + (region.capacity * Size_class.size region.class_)
+      then found := Some region)
+    t.regions;
+  !found
+
+let free t addr =
+  if addr = Allocator.null then ()
+  else
+    match region_containing t addr with
+    | Some region ->
+      let size = Size_class.size region.class_ in
+      let offset = addr - region.base in
+      (* Free only if the offset is slot-aligned and the slot is currently
+         allocated; otherwise ignore (prevents invalid and double frees,
+         §4.3). *)
+      if Size_class.is_aligned ~offset ~class_:region.class_ then begin
+        let index = offset / size in
+        if Bitmap.get region.bitmap index then begin
+          Bitmap.clear region.bitmap index;
+          region.in_use <- region.in_use - 1;
+          Stats.on_free t.stats ~reserved:size
+        end
+        else t.stats.Stats.ignored_frees <- t.stats.Stats.ignored_frees + 1
+      end
+      else t.stats.Stats.ignored_frees <- t.stats.Stats.ignored_frees + 1
+    | None -> free_large t addr
+
+let slot_of_addr t addr =
+  match region_containing t addr with
+  | None -> None
+  | Some region ->
+    Some (region.class_, (addr - region.base) / Size_class.size region.class_)
+
+let find_object t addr =
+  match region_containing t addr with
+  | Some region ->
+    let size = Size_class.size region.class_ in
+    let index = (addr - region.base) / size in
+    Some
+      {
+        Allocator.base = region.base + (index * size);
+        size;
+        allocated = Bitmap.get region.bitmap index;
+      }
+  | None -> (
+    match large_containing t addr with
+    | Some lo -> Some { Allocator.base = lo.payload; size = lo.size; allocated = true }
+    | None -> None)
+
+let object_size t addr =
+  match find_object t addr with
+  | Some { Allocator.base; size; allocated } when allocated && base = addr -> Some size
+  | Some _ | None -> None
+
+let owns t addr =
+  Option.is_some (region_containing t addr) || Option.is_some (large_containing t addr)
+
+let allocator t =
+  {
+    Allocator.name = "diehard";
+    mem = t.mem;
+    malloc = malloc t;
+    free = free t;
+    find_object = find_object t;
+    owns = owns t;
+    register_roots = None;
+    stats = t.stats;
+  }
+
+let region_base t ~class_ =
+  let region = t.regions.(class_) in
+  if region.base = 0 then None else Some region.base
+
+let region_capacity t ~class_ = t.regions.(class_).capacity
+let region_in_use t ~class_ = t.regions.(class_).in_use
+
+let region_fullness t ~class_ =
+  let region = t.regions.(class_) in
+  float_of_int region.in_use /. float_of_int region.capacity
+
+let large_object_count t = Imap.cardinal t.large
+
+let pp_layout ?(width = 64) ppf t =
+  let glyphs = [| '.'; ':'; '-'; '='; '+'; '*'; '%'; '#' |] in
+  Array.iter
+    (fun region ->
+      if region.base <> 0 then begin
+        let buckets = Array.make width 0 in
+        let per_bucket = max 1 (region.capacity / width) in
+        Bitmap.iter_set region.bitmap (fun slot ->
+            let b = min (width - 1) (slot / per_bucket) in
+            buckets.(b) <- buckets.(b) + 1);
+        let line =
+          String.init width (fun b ->
+              let density = float_of_int buckets.(b) /. float_of_int per_bucket in
+              let level =
+                if buckets.(b) = 0 then 0
+                else
+                  (* any occupancy shows: never round a live bucket to '.' *)
+                  max 1
+                    (min (Array.length glyphs - 1)
+                       (int_of_float
+                          (density *. float_of_int (Array.length glyphs - 1) +. 0.5)))
+              in
+              glyphs.(level))
+        in
+        Format.fprintf ppf "class %2d (%5dB) |%s| %d/%d@." region.class_
+          (Size_class.size region.class_)
+          line region.in_use region.capacity
+      end)
+    t.regions;
+  if not (Imap.is_empty t.large) then begin
+    Format.fprintf ppf "large objects:@.";
+    Imap.iter
+      (fun _ lo -> Format.fprintf ppf "  0x%x: %d bytes (guarded)@." lo.payload lo.size)
+      t.large
+  end

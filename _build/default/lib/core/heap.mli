@@ -1,0 +1,79 @@
+(** The DieHard randomized memory manager (paper §4).
+
+    The heap is partitioned into twelve power-of-two size-class regions
+    (8 B … 16 KB).  Each region holds its objects in a flat array of
+    equal-size slots tracked by an out-of-band bitmap — one bit per
+    object, no per-object headers — and may fill to at most [1/M] of its
+    capacity.  Allocation picks slots uniformly at random, probing like a
+    hash table (expected [1/(1-1/M)] probes); deallocation validates the
+    pointer (right offset alignment, currently marked allocated) and
+    otherwise ignores the request, so double and invalid frees are
+    harmless.  Objects larger than 16 KB are mapped individually with
+    no-access guard pages on either side.
+
+    All metadata (bitmaps, counters, the large-object table) lives outside
+    the simulated heap, so no simulated store can corrupt it — the
+    paper's complete segregation of heap metadata.
+
+    In replicated mode ({!Config.t.replicated}) the region and every
+    allocated object are filled with random values so that uninitialized
+    reads yield different results in every replica (§3.2). *)
+
+type t
+
+val create : ?config:Config.t -> Dh_mem.Mem.t -> t
+(** Build a DieHard heap on the given address space.  Regions are mapped
+    lazily on first use. *)
+
+val config : t -> Config.t
+
+val malloc : t -> int -> int option
+(** [malloc t sz] — [None] means NULL: the size class is at its [1/M]
+    threshold (or [sz <= 0]). *)
+
+val free : t -> int -> unit
+(** Validated deallocation; invalid and double frees are ignored (and
+    counted in {!Dh_alloc.Stats.t.ignored_frees}). *)
+
+val allocator : t -> Dh_alloc.Allocator.t
+(** Package as the common allocator interface. *)
+
+val stats : t -> Dh_alloc.Stats.t
+
+(** {1 Introspection for experiments and tests} *)
+
+val object_size : t -> int -> int option
+(** Reserved size of the live object at exactly this base address (small
+    or large), if any. *)
+
+val find_object : t -> int -> Dh_alloc.Allocator.object_info option
+
+val region_base : t -> class_:int -> int option
+(** Base address of a size-class region, if it has been mapped yet. *)
+
+val region_capacity : t -> class_:int -> int
+(** Slots in the region for [class_]. *)
+
+val region_in_use : t -> class_:int -> int
+(** Currently-allocated slots in the region for [class_]. *)
+
+val region_fullness : t -> class_:int -> float
+(** [in_use / capacity] — the heap-fullness parameter of Theorem 1. *)
+
+val slot_of_addr : t -> int -> (int * int) option
+(** [(class, slot index)] of an address inside a mapped region, regardless
+    of allocation state. *)
+
+val large_object_count : t -> int
+
+val rng : t -> Dh_rng.Mwc.t
+(** The heap's generator — exposed so experiments can record or perturb
+    the randomness stream. *)
+
+val pp_layout : ?width:int -> Format.formatter -> t -> unit
+(** Render the heap's occupancy as one line per mapped size-class
+    region: the region is down-sampled into [width] (default 64)
+    buckets, each shown as a density glyph from ['.'] (empty) to ['#']
+    (full).  The visual argument for randomized placement: live objects
+    scatter instead of clustering.  Large objects are listed below the
+    regions. *)

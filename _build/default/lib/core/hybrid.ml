@@ -1,0 +1,89 @@
+module Allocator = Dh_alloc.Allocator
+module Stats = Dh_alloc.Stats
+
+type t = {
+  cutoff : int;
+  heap : Heap.t;
+  backing : Dh_alloc.Freelist.t;
+  backing_alloc : Allocator.t;
+  heap_alloc : Allocator.t;
+  stats : Stats.t;
+}
+
+let create ?(config = Config.default) ?(cutoff = 256) mem =
+  if cutoff < Dh_alloc.Size_class.min_size then
+    invalid_arg "Hybrid.create: cutoff below the smallest size class";
+  let heap = Heap.create ~config mem in
+  let backing = Dh_alloc.Freelist.create mem in
+  {
+    cutoff;
+    heap;
+    backing;
+    backing_alloc = Dh_alloc.Freelist.allocator backing;
+    heap_alloc = Heap.allocator heap;
+    stats = Stats.create ();
+  }
+
+let cutoff t = t.cutoff
+let protected_heap t = t.heap
+
+let is_protected t addr = t.heap_alloc.Allocator.owns addr
+
+let malloc t sz =
+  let result =
+    if sz > 0 && sz <= t.cutoff then t.heap_alloc.Allocator.malloc sz
+    else t.backing_alloc.Allocator.malloc sz
+  in
+  (match result with
+  | Some addr -> (
+    (* mirror the reservation in the hybrid's own accounting *)
+    match
+      if is_protected t addr then t.heap_alloc.Allocator.find_object addr
+      else t.backing_alloc.Allocator.find_object addr
+    with
+    | Some { Allocator.size; _ } -> Stats.on_malloc t.stats ~requested:sz ~reserved:size
+    | None -> Stats.on_malloc t.stats ~requested:sz ~reserved:sz)
+  | None -> t.stats.Stats.failed_mallocs <- t.stats.Stats.failed_mallocs + 1);
+  result
+
+(* Frees route by ownership: a pointer into the protected regions gets
+   DieHard's validated free, anything else goes to the freelist (whose
+   misbehaviour on bad pointers is then the baseline's, by design). *)
+let free t addr =
+  if addr = Allocator.null then ()
+  else if is_protected t addr then begin
+    let before = t.heap_alloc.Allocator.stats.Stats.frees in
+    t.heap_alloc.Allocator.free addr;
+    if t.heap_alloc.Allocator.stats.Stats.frees > before then
+      (* accepted: mirror it (reserved size from the heap's class) *)
+      match t.heap_alloc.Allocator.find_object addr with
+      | Some { Allocator.size; _ } -> Stats.on_free t.stats ~reserved:size
+      | None -> ()
+    else t.stats.Stats.ignored_frees <- t.stats.Stats.ignored_frees + 1
+  end
+  else begin
+    (match t.backing_alloc.Allocator.find_object addr with
+    | Some { Allocator.size; allocated = true; _ } ->
+      Stats.on_free t.stats ~reserved:size
+    | Some _ | None -> ());
+    t.backing_alloc.Allocator.free addr
+  end
+
+let find_object t addr =
+  if is_protected t addr then t.heap_alloc.Allocator.find_object addr
+  else t.backing_alloc.Allocator.find_object addr
+
+let owns t addr =
+  t.heap_alloc.Allocator.owns addr || t.backing_alloc.Allocator.owns addr
+
+let allocator t =
+  {
+    Allocator.name = Printf.sprintf "diehard-hybrid(<=%dB)" t.cutoff;
+    mem = t.heap_alloc.Allocator.mem;
+    malloc = malloc t;
+    free = free t;
+    find_object = find_object t;
+    owns = owns t;
+    register_roots = None;
+    stats = t.stats;
+  }

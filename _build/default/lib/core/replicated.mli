@@ -1,0 +1,83 @@
+(** The replicated DieHard runtime (paper §5).
+
+    Runs [k] replicas of a program, each against its own simulated address
+    space and its own DieHard heap seeded differently (so every replica
+    has a different heap layout), broadcasts the same input to all, and
+    commits output through the {!Voter} barrier by barrier.
+
+    Where the paper forks processes, redirects them with [LD_PRELOAD] and
+    synchronises over pipes and shared memory, this simulation runs the
+    replicas to completion and then replays the barrier protocol over
+    their captured outputs — observationally equivalent for programs whose
+    only interaction is stdin/stdout, which is exactly the class the
+    paper's replicated mode targets. *)
+
+type cause =
+  | Voted_out of int  (** Killed by the voter at this barrier index. *)
+  | Died  (** Crashed, aborted or timed out before finishing. *)
+
+type replica_report = {
+  id : int;
+  seed : int;
+  outcome : Dh_mem.Process.outcome;
+  eliminated : cause option;  (** [None] = survived to the end. *)
+}
+
+type verdict =
+  | Agreed
+      (** All output committed; at least one replica finished normally. *)
+  | Uninit_read_detected
+      (** At some barrier every live replica (≥ 3) produced distinct
+          output — the signature of an uninitialized read (§3.2, §6.3);
+          execution terminates. *)
+  | No_quorum
+      (** Live replicas disagreed with no two alike, but fewer than three
+          were left — the voter cannot decide (§6's k ≠ 2 caveat). *)
+  | All_died  (** Every replica crashed before any could finish. *)
+
+type report = {
+  verdict : verdict;
+  output : string;  (** Output committed before termination. *)
+  barriers : int;  (** Barrier synchronisations performed. *)
+  replicas : replica_report list;
+}
+
+val run :
+  ?config:Config.t ->
+  ?replicas:int ->
+  ?seed_pool:Dh_rng.Seed.t ->
+  ?input:string ->
+  ?now:int ->
+  ?fuel:int ->
+  ?replace_failed:int ->
+  Dh_alloc.Program.t ->
+  report
+(** [run program] executes the replicated protocol.  [config]'s
+    [replicated] flag is forced on (random fill is what makes
+    uninitialized reads diverge); its [seed] is replaced per replica from
+    [seed_pool].  Defaults: 3 replicas, {!Config.default} sizes.
+
+    [replace_failed] implements §5.2's availability improvement: "we
+    could replace failed replicas with a copy of one of the 'good'
+    replicas with its random number generation seed set to a different
+    value."  Up to that many replacement replicas (default 0) are
+    spawned when a replica dies or is voted out; a replacement runs with
+    a fresh seed and joins the vote only if its output agrees with
+    everything already committed (an exact rollback — execution is
+    deterministic, so re-running from the start equals copying a good
+    replica's state).  Replacements appear in [replicas] with ids ≥ the
+    original count.
+
+    The number of replicas must be 1 or ≥ 3 — with two, the voter cannot
+    break ties (§6). *)
+
+val run_program_once :
+  ?config:Config.t ->
+  ?seed:int ->
+  ?input:string ->
+  ?now:int ->
+  ?fuel:int ->
+  Dh_alloc.Program.t ->
+  Dh_mem.Process.result
+(** Stand-alone mode: one replica, one DieHard heap, no voting — the
+    drop-in-replacement configuration of §2. *)

@@ -1,0 +1,35 @@
+module Mem = Dh_mem.Mem
+module Cstring = Dh_alloc.Cstring
+
+let available heap ptr =
+  match Heap.find_object heap ptr with
+  | Some { Dh_alloc.Allocator.base; size; allocated } when allocated ->
+    Some (base + size - ptr)
+  | Some _ | None -> None
+
+let mem heap = (Heap.allocator heap).Dh_alloc.Allocator.mem
+
+let strcpy heap ~dst ~src =
+  match available heap dst with
+  | None -> Cstring.strcpy (mem heap) ~dst ~src
+  | Some room ->
+    if room > 0 then begin
+      let m = mem heap in
+      let rec go i =
+        if i = room - 1 then Mem.write8 m (dst + i) 0
+        else begin
+          let c = Mem.read8 m (src + i) in
+          Mem.write8 m (dst + i) c;
+          if c <> 0 then go (i + 1)
+        end
+      in
+      go 0
+    end
+
+let strncpy heap ~dst ~src ~n =
+  let n = match available heap dst with None -> n | Some room -> min n room in
+  Cstring.strncpy (mem heap) ~dst ~src ~n
+
+let memcpy heap ~dst ~src ~n =
+  let n = match available heap dst with None -> n | Some room -> min n room in
+  Cstring.memcpy (mem heap) ~dst ~src ~n

@@ -1,0 +1,30 @@
+(** DieHard's bounded replacements for unsafe library functions (§4.4).
+
+    DieHard's heap layout makes the replacement cheap: if the destination
+    pointer lies within the small-object heap, the start of its object is
+    found by masking the pointer with the object size minus one, and the
+    space remaining to the end of the object bounds the copy.  The
+    replaced [strncpy] {e also} ignores the programmer-supplied length in
+    favour of the real remaining space — checked functions "are little
+    safer than their unchecked counterparts, since programmers can
+    inadvertently specify an incorrect length".
+
+    Destinations outside the DieHard heap fall back to the unchecked
+    behaviour (DieHard cannot know their extent). *)
+
+val available : Heap.t -> int -> int option
+(** [available heap ptr] is the number of bytes from [ptr] to the end of
+    its containing live DieHard object, or [None] if [ptr] is not inside
+    one. *)
+
+val strcpy : Heap.t -> dst:int -> src:int -> unit
+(** Bounded [strcpy]: never writes past the destination object's end.
+    The copy is truncated (and still NUL-terminated when at least one
+    byte is available). *)
+
+val strncpy : Heap.t -> dst:int -> src:int -> n:int -> unit
+(** Bounded [strncpy]: the effective length is [min n (available dst)]. *)
+
+val memcpy : Heap.t -> dst:int -> src:int -> n:int -> unit
+(** Bounded [memcpy] — same treatment, an obvious extension the paper's
+    implementation also ships. *)

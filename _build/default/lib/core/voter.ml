@@ -1,0 +1,57 @@
+let chunk_size = 4096
+
+type ballot = { replica : int; chunk : string }
+
+type verdict =
+  | Unanimous of string
+  | Majority of { chunk : string; losers : int list }
+  | No_quorum
+
+let vote ballots =
+  match ballots with
+  | [] -> invalid_arg "Voter.vote: no ballots"
+  | [ { chunk; _ } ] -> Unanimous chunk
+  | first :: _ ->
+    (* Group ballots by chunk contents, preserving replica ids. *)
+    let groups : (string, int list ref) Hashtbl.t = Hashtbl.create 7 in
+    List.iter
+      (fun { replica; chunk } ->
+        match Hashtbl.find_opt groups chunk with
+        | Some ids -> ids := replica :: !ids
+        | None -> Hashtbl.add groups chunk (ref [ replica ]))
+      ballots;
+    if Hashtbl.length groups = 1 then Unanimous first.chunk
+    else begin
+      (* Find the largest bloc; ties broken by lowest replica id for
+         determinism. *)
+      let best = ref None in
+      Hashtbl.iter
+        (fun chunk ids ->
+          let size = List.length !ids in
+          let min_id = List.fold_left min max_int !ids in
+          match !best with
+          | Some (_, best_size, best_min) when (size, -min_id) <= (best_size, -best_min)
+            -> ()
+          | Some _ | None -> best := Some (chunk, size, min_id))
+        groups;
+      match !best with
+      | Some (chunk, size, _) when size >= 2 ->
+        let losers =
+          List.filter_map
+            (fun b -> if String.equal b.chunk chunk then None else Some b.replica)
+            ballots
+        in
+        Majority { chunk; losers }
+      | Some _ | None -> No_quorum
+    end
+
+let chunks_of_output ~crashed output =
+  let len = String.length output in
+  let full = len / chunk_size in
+  let rec collect i acc =
+    if i < full then collect (i + 1) (String.sub output (i * chunk_size) chunk_size :: acc)
+    else acc
+  in
+  let full_chunks = List.rev (collect 0 []) in
+  if crashed then full_chunks
+  else full_chunks @ [ String.sub output (full * chunk_size) (len - (full * chunk_size)) ]

@@ -1,0 +1,1 @@
+lib/fault/campaign.ml: Dh_alloc Dh_mem Format Fun Injector List Printf String

@@ -1,0 +1,1 @@
+lib/fault/campaign.mli: Dh_alloc Dh_mem Format Injector

@@ -1,0 +1,1 @@
+lib/fault/injector.ml: Dh_alloc Dh_rng Hashtbl List Option

@@ -1,0 +1,72 @@
+module Process = Dh_mem.Process
+module Program = Dh_alloc.Program
+module Trace = Dh_alloc.Trace
+
+type classification = Correct | Wrong_output | Crashed | Aborted | Timed_out
+
+type tally = {
+  trials : int;
+  correct : int;
+  wrong_output : int;
+  crashed : int;
+  aborted : int;
+  timed_out : int;
+  runs : classification list;
+}
+
+let classify ~reference (result : Process.result) =
+  match result.Process.outcome with
+  | Process.Exited 0 ->
+    if String.equal result.Process.output reference then Correct else Wrong_output
+  | Process.Exited _ -> Wrong_output
+  | Process.Crashed _ -> Crashed
+  | Process.Aborted _ -> Aborted
+  | Process.Timeout -> Timed_out
+
+let run ?(input = "") ?(fuel = 50_000_000) ~trials ~spec ~make_alloc program =
+  (* 1. tracing run: obtain the allocation log *)
+  let tracer, traced_alloc = Trace.wrap (make_alloc ~trial:0) in
+  let trace_result = Program.run ~input ~fuel program traced_alloc in
+  (match trace_result.Process.outcome with
+  | Process.Exited 0 -> ()
+  | other ->
+    failwith
+      (Printf.sprintf "Campaign: tracing run did not complete cleanly (%s)"
+         (Process.outcome_to_string other)));
+  let log = Trace.lifetimes tracer in
+  let reference = trace_result.Process.output in
+  (* 2. injected trials *)
+  let runs =
+    List.init trials (fun i ->
+        let trial = i + 1 in
+        let alloc = make_alloc ~trial in
+        let _, injected =
+          Injector.wrap { spec with Injector.seed = spec.Injector.seed + trial } ~log alloc
+        in
+        let result = Program.run ~input ~fuel program injected in
+        classify ~reference result)
+  in
+  let count c = List.length (List.filter (fun x -> x = c) runs) in
+  {
+    trials;
+    correct = count Correct;
+    wrong_output = count Wrong_output;
+    crashed = count Crashed;
+    aborted = count Aborted;
+    timed_out = count Timed_out;
+    runs;
+  }
+
+let pp_tally ppf t =
+  let cell name n = if n > 0 then Some (Printf.sprintf "%d/%d %s" n t.trials name) else None in
+  let cells =
+    List.filter_map Fun.id
+      [
+        cell "correct" t.correct;
+        cell "wrong-output" t.wrong_output;
+        cell "crashed" t.crashed;
+        cell "aborted" t.aborted;
+        cell "timed-out" t.timed_out;
+      ]
+  in
+  Format.pp_print_string ppf (String.concat ", " cells)

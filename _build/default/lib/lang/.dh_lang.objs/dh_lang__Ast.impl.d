@@ -1,0 +1,1 @@
+lib/lang/ast.ml: Buffer Format Hashtbl List Option String

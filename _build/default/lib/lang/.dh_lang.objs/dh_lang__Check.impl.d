@@ -1,0 +1,1 @@
+lib/lang/check.ml: Ast Format Hashtbl Lexer List Option Parser Printf

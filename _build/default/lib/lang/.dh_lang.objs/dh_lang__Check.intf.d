@@ -1,0 +1,1 @@
+lib/lang/check.mli: Ast Format

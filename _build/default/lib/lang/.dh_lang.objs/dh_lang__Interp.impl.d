@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Ast Char Dh_alloc Dh_mem Format Hashtbl List Option Parser String

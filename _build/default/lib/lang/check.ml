@@ -1,0 +1,156 @@
+type diagnostic = { where : string; message : string }
+
+let builtin_arity = function
+  | "malloc" | "calloc" | "free" | "print_int" | "print_char" | "print_str"
+  | "strlen" | "gets" | "load8" | "exit" ->
+    Some 1
+  | "realloc" | "strcpy" | "strcmp" | "store8" -> Some 2
+  | "strncpy" | "memcpy" | "memset" -> Some 3
+  | "getchar" | "now" -> Some 0
+  | _ -> None
+
+type env = {
+  funcs : (string, int) Hashtbl.t;  (* name -> arity *)
+  mutable diagnostics : diagnostic list;  (* newest first *)
+  mutable current : string;
+  mutable scopes : (string, unit) Hashtbl.t list;
+  mutable loop_depth : int;
+}
+
+let report env fmt =
+  Format.kasprintf
+    (fun message -> env.diagnostics <- { where = env.current; message } :: env.diagnostics)
+    fmt
+
+let push_scope env = env.scopes <- Hashtbl.create 8 :: env.scopes
+let pop_scope env = env.scopes <- List.tl env.scopes
+
+let declare env name =
+  match env.scopes with
+  | scope :: _ -> Hashtbl.replace scope name ()
+  | [] -> ()
+
+let in_scope env name = List.exists (fun scope -> Hashtbl.mem scope name) env.scopes
+
+let rec check_expr env (e : Ast.expr) =
+  match e with
+  | Ast.Int _ | Ast.Char _ | Ast.Str _ -> ()
+  | Ast.Var x -> if not (in_scope env x) then report env "unknown variable %s" x
+  | Ast.Unop (_, e) -> check_expr env e
+  | Ast.Binop (_, a, b) ->
+    check_expr env a;
+    check_expr env b
+  | Ast.Index (a, b) ->
+    check_expr env a;
+    check_expr env b
+  | Ast.Call (name, args) ->
+    List.iter (check_expr env) args;
+    let got = List.length args in
+    (match (Hashtbl.find_opt env.funcs name, builtin_arity name) with
+    | Some arity, _ ->
+      if got <> arity then
+        report env "%s expects %d argument(s), got %d" name arity got
+    | None, Some arity ->
+      if got <> arity then
+        report env "builtin %s expects %d argument(s), got %d" name arity got
+    | None, None -> report env "unknown function %s" name)
+
+let check_lvalue env = function
+  | Ast.Lvar x -> if not (in_scope env x) then report env "unknown variable %s" x
+  | Ast.Lderef e -> check_expr env e
+  | Ast.Lindex (a, b) ->
+    check_expr env a;
+    check_expr env b
+
+let rec check_stmt env (s : Ast.stmt) =
+  match s with
+  | Ast.Decl (x, e) ->
+    check_expr env e;
+    declare env x
+  | Ast.Assign (lv, e) ->
+    check_expr env e;
+    check_lvalue env lv
+  | Ast.If (c, t, f) ->
+    check_expr env c;
+    check_block env t;
+    check_block env f
+  | Ast.While (c, body) ->
+    check_expr env c;
+    env.loop_depth <- env.loop_depth + 1;
+    check_block env body;
+    env.loop_depth <- env.loop_depth - 1
+  | Ast.For (init, cond, step, body) ->
+    push_scope env;
+    Option.iter (check_stmt env) init;
+    Option.iter (check_expr env) cond;
+    env.loop_depth <- env.loop_depth + 1;
+    check_block env body;
+    (* the step runs in the header's scope, after the body *)
+    Option.iter (check_stmt env) step;
+    env.loop_depth <- env.loop_depth - 1;
+    pop_scope env
+  | Ast.Return e -> Option.iter (check_expr env) e
+  | Ast.Break -> if env.loop_depth = 0 then report env "break outside a loop"
+  | Ast.Continue -> if env.loop_depth = 0 then report env "continue outside a loop"
+  | Ast.Expr e -> check_expr env e
+  | Ast.Block b -> check_block env b
+
+and check_block env block =
+  push_scope env;
+  List.iter (check_stmt env) block;
+  pop_scope env
+
+let check_func env (f : Ast.func) =
+  env.current <- f.Ast.name;
+  env.loop_depth <- 0;
+  env.scopes <- [];
+  push_scope env;
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem seen p then report env "duplicate parameter %s" p;
+      Hashtbl.replace seen p ();
+      declare env p)
+    f.Ast.params;
+  check_block env f.Ast.body;
+  pop_scope env
+
+let check (program : Ast.program) =
+  let env =
+    {
+      funcs = Hashtbl.create 16;
+      diagnostics = [];
+      current = "<toplevel>";
+      scopes = [];
+      loop_depth = 0;
+    }
+  in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem env.funcs f.Ast.name then
+        report env "duplicate function %s" f.Ast.name
+      else begin
+        if builtin_arity f.Ast.name <> None then
+          report env "function %s shadows a builtin" f.Ast.name;
+        Hashtbl.replace env.funcs f.Ast.name (List.length f.Ast.params)
+      end)
+    program.Ast.funcs;
+  (match Ast.find_func program "main" with
+  | None -> report env "no main function"
+  | Some f -> if f.Ast.params <> [] then report env "main takes no parameters");
+  List.iter (check_func env) program.Ast.funcs;
+  List.rev env.diagnostics
+
+let pp_diagnostic ppf { where; message } = Format.fprintf ppf "in %s: %s" where message
+
+let check_source source =
+  match Parser.parse_program source with
+  | exception Lexer.Lex_error (msg, line, col) ->
+    Error [ Printf.sprintf "%d:%d: lexical error: %s" line col msg ]
+  | exception Parser.Syntax_error (msg, line, col) ->
+    Error [ Printf.sprintf "%d:%d: syntax error: %s" line col msg ]
+  | program -> (
+    match check program with
+    | [] -> Ok program
+    | diagnostics ->
+      Error (List.map (Format.asprintf "%a" pp_diagnostic) diagnostics))

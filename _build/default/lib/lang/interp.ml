@@ -1,0 +1,468 @@
+module Allocator = Dh_alloc.Allocator
+module Policy = Dh_alloc.Policy
+module Program = Dh_alloc.Program
+module Process = Dh_mem.Process
+
+type libc = Unchecked | Bounded
+
+exception Runtime_error of string
+
+let err fmt = Format.kasprintf (fun msg -> raise (Runtime_error msg)) fmt
+
+(* Control-flow signals. *)
+exception Return_signal of int
+exception Break_signal
+exception Continue_signal
+
+type frame = (string, int ref) Hashtbl.t
+
+type state = {
+  program : Ast.program;
+  libc : libc;
+  ctx : Program.context;
+  (* All active block scopes across the whole call stack, innermost
+     first.  Kept flat so the GC root provider can see everything. *)
+  mutable scopes : frame list;
+  (* Addresses of the startup-allocated string literals. *)
+  literals : (string, int) Hashtbl.t;
+  mutable input_pos : int;
+}
+
+(* --- environment --- *)
+
+let push_scope st =
+  let frame : frame = Hashtbl.create 8 in
+  st.scopes <- frame :: st.scopes;
+  frame
+
+let pop_scopes st upto = st.scopes <- upto
+
+let declare st frame name value =
+  ignore st;
+  Hashtbl.replace frame name (ref value)
+
+(* Function bodies must not see their caller's locals: scope chains are
+   delimited per call.  [barrier] is the scope list as it was at call
+   entry; lookup walks inner frames and stops (by physical equality)
+   when it reaches the caller's frames. *)
+let lookup st ~barrier name =
+  let rec go scopes =
+    if scopes == barrier then None
+    else
+      match scopes with
+      | [] -> None
+      | frame :: rest -> (
+        match Hashtbl.find_opt frame name with
+        | Some cell -> Some cell
+        | None -> go rest)
+  in
+  go st.scopes
+
+(* --- heap access helpers --- *)
+
+let load st addr = Policy.load st.ctx.Program.policy addr
+let store st addr v = Policy.store st.ctx.Program.policy addr v
+let load8 st addr = Policy.load8 st.ctx.Program.policy addr
+let store8 st addr v = Policy.store8 st.ctx.Program.policy addr v
+
+let cstrlen st addr =
+  let rec go n = if load8 st (addr + n) = 0 then n else go (n + 1) in
+  go 0
+
+let write_cstring st addr s =
+  String.iteri (fun i c -> store8 st (addr + i) (Char.code c)) s;
+  store8 st (addr + String.length s) 0
+
+(* Space from [ptr] to the end of its live object — the §4.4 bound. *)
+let available st ptr =
+  match st.ctx.Program.alloc.Allocator.find_object ptr with
+  | Some { Allocator.base; size; allocated } when allocated -> Some (base + size - ptr)
+  | Some _ | None -> None
+
+let bounded_limit st dst n =
+  match st.libc with
+  | Unchecked -> n
+  | Bounded -> (
+    match available st dst with None -> n | Some room -> min n room)
+
+(* --- builtins --- *)
+
+let builtin_strcpy st dst src =
+  match st.libc with
+  | Unchecked ->
+    let rec go i =
+      let c = load8 st (src + i) in
+      store8 st (dst + i) c;
+      if c <> 0 then go (i + 1)
+    in
+    go 0
+  | Bounded -> (
+    match available st dst with
+    | None ->
+      let rec go i =
+        let c = load8 st (src + i) in
+        store8 st (dst + i) c;
+        if c <> 0 then go (i + 1)
+      in
+      go 0
+    | Some room when room <= 0 -> ()
+    | Some room ->
+      let rec go i =
+        if i = room - 1 then store8 st (dst + i) 0
+        else begin
+          let c = load8 st (src + i) in
+          store8 st (dst + i) c;
+          if c <> 0 then go (i + 1)
+        end
+      in
+      go 0)
+
+let builtin_strncpy st dst src n =
+  let n = bounded_limit st dst n in
+  let rec go i =
+    if i < n then begin
+      let c = load8 st (src + i) in
+      store8 st (dst + i) c;
+      if c = 0 then
+        for j = i + 1 to n - 1 do
+          store8 st (dst + j) 0
+        done
+      else go (i + 1)
+    end
+  in
+  go 0
+
+let builtin_memcpy st dst src n =
+  let n = bounded_limit st dst n in
+  for i = 0 to n - 1 do
+    store8 st (dst + i) (load8 st (src + i))
+  done
+
+let builtin_memset st dst c n =
+  let n = bounded_limit st dst n in
+  for i = 0 to n - 1 do
+    store8 st (dst + i) c
+  done
+
+let builtin_gets st dst =
+  (* Read one input line with no bounds checking whatsoever. *)
+  let input = st.ctx.Program.input in
+  let start = st.input_pos in
+  let len = String.length input in
+  let rec line_end i = if i >= len || input.[i] = '\n' then i else line_end (i + 1) in
+  let stop = line_end start in
+  for i = start to stop - 1 do
+    store8 st (dst + (i - start)) (Char.code input.[i])
+  done;
+  store8 st (dst + (stop - start)) 0;
+  st.input_pos <- (if stop < len then stop + 1 else len);
+  if start >= len && stop = len then 0 else dst
+
+let builtin_getchar st =
+  if st.input_pos >= String.length st.ctx.Program.input then -1
+  else begin
+    let c = Char.code st.ctx.Program.input.[st.input_pos] in
+    st.input_pos <- st.input_pos + 1;
+    c
+  end
+
+let read_cstring st addr =
+  let len = cstrlen st addr in
+  String.init len (fun i -> Char.chr (load8 st (addr + i) land 0xFF))
+
+(* --- evaluation --- *)
+
+let truthy v = v <> 0
+let of_bool b = if b then 1 else 0
+
+let rec eval st ~barrier (e : Ast.expr) : int =
+  match e with
+  | Ast.Int n -> n
+  | Ast.Char c -> Char.code c
+  | Ast.Str s -> (
+    match Hashtbl.find_opt st.literals s with
+    | Some addr -> addr
+    | None -> err "internal: unallocated string literal %S" s)
+  | Ast.Var x -> (
+    match lookup st ~barrier x with
+    | Some cell -> !cell
+    | None -> err "unknown variable %s" x)
+  | Ast.Unop (op, e) -> (
+    let v = eval st ~barrier e in
+    match op with
+    | Ast.Neg -> -v
+    | Ast.Not -> of_bool (v = 0)
+    | Ast.Bnot -> lnot v
+    | Ast.Deref -> load st v)
+  | Ast.Binop (Ast.And, a, b) ->
+    if truthy (eval st ~barrier a) then of_bool (truthy (eval st ~barrier b)) else 0
+  | Ast.Binop (Ast.Or, a, b) ->
+    if truthy (eval st ~barrier a) then 1 else of_bool (truthy (eval st ~barrier b))
+  | Ast.Binop (op, a, b) -> (
+    let x = eval st ~barrier a in
+    let y = eval st ~barrier b in
+    match op with
+    | Ast.Add -> x + y
+    | Ast.Sub -> x - y
+    | Ast.Mul -> x * y
+    | Ast.Div -> if y = 0 then err "division by zero" else x / y
+    | Ast.Mod -> if y = 0 then err "modulo by zero" else x mod y
+    | Ast.Eq -> of_bool (x = y)
+    | Ast.Ne -> of_bool (x <> y)
+    | Ast.Lt -> of_bool (x < y)
+    | Ast.Le -> of_bool (x <= y)
+    | Ast.Gt -> of_bool (x > y)
+    | Ast.Ge -> of_bool (x >= y)
+    | Ast.Band -> x land y
+    | Ast.Bor -> x lor y
+    | Ast.Bxor -> x lxor y
+    | Ast.Shl -> x lsl (y land 63)
+    | Ast.Shr -> x asr (y land 63)
+    | Ast.And | Ast.Or -> assert false)
+  | Ast.Index (a, i) ->
+    let base = eval st ~barrier a in
+    let index = eval st ~barrier i in
+    load st (base + (8 * index))
+  | Ast.Call (name, args) -> call st ~barrier name args
+
+and call st ~barrier name args =
+  let argv () = List.map (eval st ~barrier) args in
+  let arity n k =
+    match argv () with
+    | vs when List.length vs = n -> k vs
+    | vs -> err "%s expects %d argument(s), got %d" name n (List.length vs)
+  in
+  match name with
+  | "malloc" ->
+    arity 1 (function
+      | [ n ] -> (
+        match st.ctx.Program.alloc.Allocator.malloc n with Some p -> p | None -> 0)
+      | _ -> assert false)
+  | "calloc" ->
+    arity 1 (function
+      | [ n ] -> (
+        (* zero-fill through the access policy so a fail-stop policy's
+           initialization tracking sees the writes *)
+        match st.ctx.Program.alloc.Allocator.malloc n with
+        | Some p ->
+          for i = 0 to n - 1 do
+            store8 st (p + i) 0
+          done;
+          p
+        | None -> 0)
+      | _ -> assert false)
+  | "free" ->
+    arity 1 (function
+      | [ p ] ->
+        st.ctx.Program.alloc.Allocator.free p;
+        0
+      | _ -> assert false)
+  | "realloc" ->
+    arity 2 (function
+      | [ p; n ] -> (
+        match Allocator.realloc st.ctx.Program.alloc p n with
+        | Some q -> q
+        | None -> 0)
+      | _ -> assert false)
+  | "print_int" ->
+    arity 1 (function
+      | [ v ] ->
+        Process.Out.print_int st.ctx.Program.out v;
+        0
+      | _ -> assert false)
+  | "print_char" ->
+    arity 1 (function
+      | [ v ] ->
+        Process.Out.print_char st.ctx.Program.out (Char.chr (v land 0xFF));
+        0
+      | _ -> assert false)
+  | "print_str" ->
+    arity 1 (function
+      | [ p ] ->
+        Process.Out.print_string st.ctx.Program.out (read_cstring st p);
+        0
+      | _ -> assert false)
+  | "getchar" -> arity 0 (fun _ -> builtin_getchar st)
+  | "gets" ->
+    arity 1 (function [ p ] -> builtin_gets st p | _ -> assert false)
+  | "strlen" -> arity 1 (function [ p ] -> cstrlen st p | _ -> assert false)
+  | "strcpy" ->
+    arity 2 (function
+      | [ d; s ] ->
+        builtin_strcpy st d s;
+        d
+      | _ -> assert false)
+  | "strncpy" ->
+    arity 3 (function
+      | [ d; s; n ] ->
+        builtin_strncpy st d s n;
+        d
+      | _ -> assert false)
+  | "strcmp" ->
+    arity 2 (function
+      | [ a; b ] ->
+        let rec go i =
+          let ca = load8 st (a + i) and cb = load8 st (b + i) in
+          if ca <> cb then compare ca cb else if ca = 0 then 0 else go (i + 1)
+        in
+        go 0
+      | _ -> assert false)
+  | "memcpy" ->
+    arity 3 (function
+      | [ d; s; n ] ->
+        builtin_memcpy st d s n;
+        d
+      | _ -> assert false)
+  | "memset" ->
+    arity 3 (function
+      | [ d; c; n ] ->
+        builtin_memset st d c n;
+        d
+      | _ -> assert false)
+  | "load8" -> arity 1 (function [ p ] -> load8 st p | _ -> assert false)
+  | "store8" ->
+    arity 2 (function
+      | [ p; v ] ->
+        store8 st p v;
+        0
+      | _ -> assert false)
+  | "now" -> arity 0 (fun _ -> st.ctx.Program.now)
+  | "exit" ->
+    arity 1 (function [ code ] -> raise (Process.Exit_program code) | _ -> assert false)
+  | _ -> (
+    match Ast.find_func st.program name with
+    | None -> err "unknown function %s" name
+    | Some f ->
+      let vs = argv () in
+      if List.length vs <> List.length f.Ast.params then
+        err "%s expects %d argument(s), got %d" name (List.length f.Ast.params)
+          (List.length vs);
+      call_user st f vs)
+
+and call_user st f vs =
+  Process.Fuel.burn st.ctx.Program.fuel;
+  let saved = st.scopes in
+  let frame = push_scope st in
+  List.iter2 (fun p v -> declare st frame p v) f.Ast.params vs;
+  (* The callee's barrier is the caller's scope list: lookups stop there. *)
+  let result =
+    try
+      exec_block st ~barrier:saved f.Ast.body;
+      0
+    with Return_signal v -> v
+  in
+  pop_scopes st saved;
+  result
+
+and exec_block st ~barrier block =
+  let saved = st.scopes in
+  ignore (push_scope st);
+  (try List.iter (exec_stmt st ~barrier) block
+   with e ->
+     pop_scopes st saved;
+     raise e);
+  pop_scopes st saved
+
+and exec_stmt st ~barrier (s : Ast.stmt) =
+  Process.Fuel.burn st.ctx.Program.fuel;
+  match s with
+  | Ast.Decl (x, e) -> (
+    let v = eval st ~barrier e in
+    match st.scopes with
+    | frame :: _ -> declare st frame x v
+    | [] -> err "internal: no scope")
+  | Ast.Assign (lv, e) -> (
+    let v = eval st ~barrier e in
+    match lv with
+    | Ast.Lvar x -> (
+      match lookup st ~barrier x with
+      | Some cell -> cell := v
+      | None -> err "unknown variable %s" x)
+    | Ast.Lderef addr_e -> store st (eval st ~barrier addr_e) v
+    | Ast.Lindex (a, i) ->
+      let base = eval st ~barrier a in
+      let index = eval st ~barrier i in
+      store st (base + (8 * index)) v)
+  | Ast.If (c, t, f) ->
+    if truthy (eval st ~barrier c) then exec_block st ~barrier t
+    else exec_block st ~barrier f
+  | Ast.While (c, body) ->
+    let rec loop () =
+      (* Burn fuel per iteration so even empty loop bodies time out. *)
+      Process.Fuel.burn st.ctx.Program.fuel;
+      if truthy (eval st ~barrier c) then begin
+        (try exec_block st ~barrier body with Continue_signal -> ());
+        loop ()
+      end
+    in
+    (try loop () with Break_signal -> ())
+  | Ast.For (init, cond, step, body) ->
+    let saved = st.scopes in
+    ignore (push_scope st);
+    (try
+       Option.iter (exec_stmt st ~barrier) init;
+       let check () =
+         match cond with None -> true | Some c -> truthy (eval st ~barrier c)
+       in
+       let rec loop () =
+         Process.Fuel.burn st.ctx.Program.fuel;
+         if check () then begin
+           (try exec_block st ~barrier body with Continue_signal -> ());
+           Option.iter (exec_stmt st ~barrier) step;
+           loop ()
+         end
+       in
+       (try loop () with Break_signal -> ())
+     with e ->
+       pop_scopes st saved;
+       raise e);
+    pop_scopes st saved
+  | Ast.Return None -> raise (Return_signal 0)
+  | Ast.Return (Some e) -> raise (Return_signal (eval st ~barrier e))
+  | Ast.Break -> raise Break_signal
+  | Ast.Continue -> raise Continue_signal
+  | Ast.Expr e -> ignore (eval st ~barrier e)
+  | Ast.Block b -> exec_block st ~barrier b
+
+(* --- entry points --- *)
+
+let allocate_literals st =
+  List.iter
+    (fun s ->
+      match st.ctx.Program.alloc.Allocator.malloc (String.length s + 1) with
+      | Some addr ->
+        write_cstring st addr s;
+        Hashtbl.replace st.literals s addr
+      | None -> err "out of memory allocating string literal %S" s)
+    (Ast.string_literals st.program)
+
+let register_gc_roots st =
+  match st.ctx.Program.alloc.Allocator.register_roots with
+  | None -> ()
+  | Some register ->
+    register (fun () ->
+        let roots = ref [] in
+        List.iter
+          (fun frame -> Hashtbl.iter (fun _ cell -> roots := !cell :: !roots) frame)
+          st.scopes;
+        Hashtbl.iter (fun _ addr -> roots := addr :: !roots) st.literals;
+        !roots)
+
+let run ?(libc = Unchecked) program ctx =
+  let st =
+    { program; libc; ctx; scopes = []; literals = Hashtbl.create 16; input_pos = 0 }
+  in
+  register_gc_roots st;
+  allocate_literals st;
+  match Ast.find_func program "main" with
+  | None -> err "no main function"
+  | Some main ->
+    if main.Ast.params <> [] then err "main takes no parameters";
+    let code = call_user st main [] in
+    if code <> 0 then raise (Process.Exit_program code)
+
+let to_program ?libc ~name program =
+  Program.make ~name (fun ctx -> run ?libc program ctx)
+
+let program_of_source ?libc ~name source =
+  to_program ?libc ~name (Parser.parse_program source)

@@ -1,0 +1,44 @@
+(** The MiniC interpreter.
+
+    Executes a parsed program against a {!Dh_alloc.Program.context}: all
+    heap traffic goes through the context's allocator and access policy,
+    so the same program runs unchanged under the freelist baseline, the
+    conservative GC, DieHard, a fail-stop checker or a failure-oblivious
+    shield — the paper's interposition, in simulation.
+
+    Execution starts at [main()].  Variables live outside the simulated
+    heap (MiniC models heap errors, not stack smashing — the paper's
+    DieHard likewise "does not prevent safety errors based on stack
+    corruption", §9).  If the allocator is garbage-collected, every live
+    variable and string literal is registered as a root, scanned
+    conservatively.
+
+    {b Builtins}: [malloc(n)], [calloc(n)], [realloc(p,n)], [free(p)], [print_int(v)],
+    [print_str(p)], [print_char(c)], [getchar()] (next input byte or -1),
+    [gets(p)] (reads an input line with {e no} bounds check — the classic
+    overflow vector), [strlen(s)], [strcpy(d,s)], [strncpy(d,s,n)],
+    [strcmp(a,b)], [memcpy(d,s,n)], [memset(d,c,n)], [load8(p)],
+    [store8(p,v)], [now()] (the intercepted clock, §5.3), [exit(code)].
+
+    With [libc = Bounded], [strcpy]/[strncpy]/[memcpy] are replaced by
+    DieHard's bounded variants (§4.4): the copy is limited to the space
+    remaining in the destination object. *)
+
+type libc =
+  | Unchecked  (** Ordinary C semantics: the copy trusts its arguments. *)
+  | Bounded  (** DieHard's replacement library functions (§4.4). *)
+
+exception Runtime_error of string
+(** A MiniC-level error that is a bug in the {e simulation input}, not a
+    simulated memory error: unknown variable or function, wrong arity,
+    division by zero.  Escapes {!Dh_mem.Process.run} — experiments never
+    trigger it with well-formed programs. *)
+
+val run : ?libc:libc -> Ast.program -> Dh_alloc.Program.context -> unit
+(** Run [main()] to completion within an existing context. *)
+
+val to_program : ?libc:libc -> name:string -> Ast.program -> Dh_alloc.Program.t
+(** Package as a runnable {!Dh_alloc.Program.t}. *)
+
+val program_of_source : ?libc:libc -> name:string -> string -> Dh_alloc.Program.t
+(** Parse and package MiniC source text. *)

@@ -1,0 +1,214 @@
+type token =
+  | INT of int
+  | CHAR of char
+  | STRING of string
+  | IDENT of string
+  | KW_FN | KW_VAR | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN
+  | KW_BREAK | KW_CONTINUE
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ
+  | EQEQ | NE | LT | LE | GT | GE
+  | AMPAMP | PIPEPIPE | BANG
+  | AMP | PIPE | CARET | TILDE | SHL | SHR
+  | EOF
+
+type positioned = { token : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+let keyword_of = function
+  | "fn" -> Some KW_FN
+  | "var" -> Some KW_VAR
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+type cursor = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let peek2 cur =
+  if cur.pos + 1 < String.length cur.src then Some cur.src.[cur.pos + 1] else None
+
+let advance cur =
+  (match peek cur with
+  | Some '\n' ->
+    cur.line <- cur.line + 1;
+    cur.col <- 1
+  | Some _ -> cur.col <- cur.col + 1
+  | None -> ());
+  cur.pos <- cur.pos + 1
+
+let error cur msg = raise (Lex_error (msg, cur.line, cur.col))
+
+let read_escape cur =
+  advance cur;  (* consume backslash *)
+  match peek cur with
+  | Some 'n' -> advance cur; '\n'
+  | Some 't' -> advance cur; '\t'
+  | Some 'r' -> advance cur; '\r'
+  | Some '0' -> advance cur; '\000'
+  | Some '\\' -> advance cur; '\\'
+  | Some '\'' -> advance cur; '\''
+  | Some '"' -> advance cur; '"'
+  | Some c -> error cur (Printf.sprintf "unknown escape '\\%c'" c)
+  | None -> error cur "unterminated escape"
+
+let rec skip_trivia cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance cur;
+    skip_trivia cur
+  | Some '/' when peek2 cur = Some '/' ->
+    while peek cur <> None && peek cur <> Some '\n' do
+      advance cur
+    done;
+    skip_trivia cur
+  | Some '/' when peek2 cur = Some '*' ->
+    advance cur;
+    advance cur;
+    let rec gobble () =
+      match (peek cur, peek2 cur) with
+      | Some '*', Some '/' ->
+        advance cur;
+        advance cur
+      | Some _, _ ->
+        advance cur;
+        gobble ()
+      | None, _ -> error cur "unterminated comment"
+    in
+    gobble ();
+    skip_trivia cur
+  | Some _ | None -> ()
+
+let next_token cur =
+  skip_trivia cur;
+  let line = cur.line and col = cur.col in
+  let emit token = { token; line; col } in
+  match peek cur with
+  | None -> emit EOF
+  | Some c when is_digit c ->
+    let start = cur.pos in
+    while (match peek cur with Some c -> is_digit c || c = 'x' || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') | None -> false) do
+      advance cur
+    done;
+    let text = String.sub cur.src start (cur.pos - start) in
+    (match int_of_string_opt text with
+    | Some n -> emit (INT n)
+    | None -> raise (Lex_error (Printf.sprintf "bad number %S" text, line, col)))
+  | Some c when is_ident_start c ->
+    let start = cur.pos in
+    while (match peek cur with Some c -> is_ident_char c | None -> false) do
+      advance cur
+    done;
+    let text = String.sub cur.src start (cur.pos - start) in
+    (match keyword_of text with Some kw -> emit kw | None -> emit (IDENT text))
+  | Some '"' ->
+    advance cur;
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek cur with
+      | Some '"' -> advance cur
+      | Some '\\' -> Buffer.add_char buf (read_escape cur); go ()
+      | Some c ->
+        advance cur;
+        Buffer.add_char buf c;
+        go ()
+      | None -> error cur "unterminated string literal"
+    in
+    go ();
+    emit (STRING (Buffer.contents buf))
+  | Some '\'' ->
+    advance cur;
+    let c =
+      match peek cur with
+      | Some '\\' -> read_escape cur
+      | Some c ->
+        advance cur;
+        c
+      | None -> error cur "unterminated character literal"
+    in
+    (match peek cur with
+    | Some '\'' ->
+      advance cur;
+      emit (CHAR c)
+    | Some _ | None -> error cur "expected closing quote in character literal")
+  | Some c ->
+    advance cur;
+    let two expected single double_tok =
+      if peek cur = Some expected then begin
+        advance cur;
+        emit double_tok
+      end
+      else emit single
+    in
+    (match c with
+    | '(' -> emit LPAREN
+    | ')' -> emit RPAREN
+    | '{' -> emit LBRACE
+    | '}' -> emit RBRACE
+    | '[' -> emit LBRACKET
+    | ']' -> emit RBRACKET
+    | ',' -> emit COMMA
+    | ';' -> emit SEMI
+    | '+' -> emit PLUS
+    | '-' -> emit MINUS
+    | '*' -> emit STAR
+    | '/' -> emit SLASH
+    | '%' -> emit PERCENT
+    | '^' -> emit CARET
+    | '~' -> emit TILDE
+    | '=' -> two '=' EQ EQEQ
+    | '!' -> two '=' BANG NE
+    | '<' ->
+      if peek cur = Some '=' then begin advance cur; emit LE end
+      else if peek cur = Some '<' then begin advance cur; emit SHL end
+      else emit LT
+    | '>' ->
+      if peek cur = Some '=' then begin advance cur; emit GE end
+      else if peek cur = Some '>' then begin advance cur; emit SHR end
+      else emit GT
+    | '&' -> two '&' AMP AMPAMP
+    | '|' -> two '|' PIPE PIPEPIPE
+    | c ->
+      (* report at the character's own position, not after the advance *)
+      raise (Lex_error (Printf.sprintf "unexpected character %C" c, line, col)))
+
+let tokenize src =
+  let cur = { src; pos = 0; line = 1; col = 1 } in
+  let acc = ref [] in
+  let rec go () =
+    let t = next_token cur in
+    acc := t :: !acc;
+    if t.token <> EOF then go ()
+  in
+  go ();
+  Array.of_list (List.rev !acc)
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | CHAR c -> Printf.sprintf "%C" c
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT x -> x
+  | KW_FN -> "fn" | KW_VAR -> "var" | KW_IF -> "if" | KW_ELSE -> "else"
+  | KW_WHILE -> "while" | KW_FOR -> "for" | KW_RETURN -> "return"
+  | KW_BREAK -> "break" | KW_CONTINUE -> "continue"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | COMMA -> "," | SEMI -> ";"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | EQ -> "=" | EQEQ -> "==" | NE -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">"
+  | GE -> ">=" | AMPAMP -> "&&" | PIPEPIPE -> "||" | BANG -> "!"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~" | SHL -> "<<" | SHR -> ">>"
+  | EOF -> "<eof>"

@@ -1,0 +1,31 @@
+(** Hand-written lexer for MiniC.
+
+    Produces a token array with line/column positions for error messages.
+    Comments are [// to end of line] and [/* ... */] (non-nesting). *)
+
+type token =
+  | INT of int
+  | CHAR of char
+  | STRING of string
+  | IDENT of string
+  | KW_FN | KW_VAR | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN
+  | KW_BREAK | KW_CONTINUE
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ  (** [=] *)
+  | EQEQ | NE | LT | LE | GT | GE
+  | AMPAMP | PIPEPIPE | BANG
+  | AMP | PIPE | CARET | TILDE | SHL | SHR
+  | EOF
+
+type positioned = { token : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+(** [Lex_error (message, line, col)]. *)
+
+val tokenize : string -> positioned array
+(** Tokenize a whole source string; the final element is always [EOF].
+    Raises {!Lex_error} on malformed input. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,1 @@
+lib/rng/seed.ml: Mwc Unix

@@ -1,0 +1,77 @@
+let uniform_int rng ~lo ~hi =
+  if lo > hi then invalid_arg "Dist.uniform_int: lo > hi";
+  lo + Mwc.below rng (hi - lo + 1)
+
+let geometric rng ~p =
+  if p <= 0. || p > 1. then invalid_arg "Dist.geometric: want 0 < p <= 1";
+  if p = 1. then 0
+  else begin
+    (* Inversion: floor (log u / log (1-p)) with u in (0,1]. *)
+    let u = 1. -. Mwc.float01 rng in
+    int_of_float (floor (log u /. log (1. -. p)))
+  end
+
+let exponential rng ~mean =
+  if mean <= 0. then invalid_arg "Dist.exponential: want mean > 0";
+  let u = 1. -. Mwc.float01 rng in
+  -.mean *. log u
+
+(* Zipf by inversion of the generalized harmonic CDF, computed lazily with a
+   small per-(n,s) cache.  Workloads use a handful of (n,s) pairs, so the
+   cache stays tiny. *)
+let zipf_cache : (int * float, float array) Hashtbl.t = Hashtbl.create 8
+
+let zipf_cdf ~n ~s =
+  match Hashtbl.find_opt zipf_cache (n, s) with
+  | Some cdf -> cdf
+  | None ->
+    let cdf = Array.make n 0. in
+    let total = ref 0. in
+    for k = 1 to n do
+      total := !total +. (1. /. Float.pow (float_of_int k) s);
+      cdf.(k - 1) <- !total
+    done;
+    for k = 0 to n - 1 do
+      cdf.(k) <- cdf.(k) /. !total
+    done;
+    Hashtbl.replace zipf_cache (n, s) cdf;
+    cdf
+
+let zipf rng ~n ~s =
+  if n < 1 then invalid_arg "Dist.zipf: want n >= 1";
+  if s < 0. then invalid_arg "Dist.zipf: want s >= 0";
+  let cdf = zipf_cdf ~n ~s in
+  let u = Mwc.float01 rng in
+  (* Binary search for the first index whose CDF exceeds u. *)
+  let rec search lo hi =
+    if lo >= hi then lo + 1
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) > u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (n - 1)
+
+let weighted rng ~weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Dist.weighted: weights sum to zero";
+  let u = Mwc.float01 rng *. total in
+  let n = Array.length weights in
+  let rec pick i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if u < acc then i else pick (i + 1) acc
+  in
+  pick 0 0.
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Mwc.below rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let size_class_mix rng ~classes =
+  let weights = Array.map snd classes in
+  fst classes.(weighted rng ~weights)

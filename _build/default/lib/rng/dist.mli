@@ -1,0 +1,33 @@
+(** Sampling from the distributions used by the workload generators.
+
+    The synthetic benchmarks (see {!Dh_workload}) describe each program's
+    allocation behaviour as a size distribution, a lifetime distribution
+    and an allocation rate; this module provides the samplers. *)
+
+val uniform_int : Mwc.t -> lo:int -> hi:int -> int
+(** Uniform integer in [\[lo, hi\]] inclusive.  Requires [lo <= hi]. *)
+
+val geometric : Mwc.t -> p:float -> int
+(** Number of failures before the first success of a Bernoulli([p]) trial,
+    i.e. values in [\[0, ∞)] with mean [(1-p)/p].  Requires [0 < p <= 1]. *)
+
+val exponential : Mwc.t -> mean:float -> float
+(** Exponential with the given mean.  Requires [mean > 0]. *)
+
+val zipf : Mwc.t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [\[1, n\]] with exponent [s], sampled by
+    binary-search inversion over a cached CDF (workloads reuse a handful of
+    [(n, s)] pairs, so the cache stays small).  Requires [n >= 1] and
+    [s >= 0]. *)
+
+val weighted : Mwc.t -> weights:float array -> int
+(** Index sampled proportionally to [weights] (all non-negative, not all
+    zero). *)
+
+val shuffle : Mwc.t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val size_class_mix : Mwc.t -> classes:(int * float) array -> int
+(** [size_class_mix rng ~classes] picks a size from a weighted list of
+    [(size, weight)] pairs — the shape in which workload profiles describe
+    their object-size mixes. *)

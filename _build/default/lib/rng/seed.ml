@@ -1,0 +1,23 @@
+type t = { mutable counter : int; master : int }
+
+let create ~master = { counter = 0; master }
+
+let of_time () = create ~master:(int_of_float (Unix.gettimeofday () *. 1e6))
+
+(* splitmix64-style stream: seed_i = mix (master + i * golden).  Each draw
+   is a full avalanche of a distinct input, so draws are pairwise distinct
+   unless the finalizer collides (probability ~ 2^-63 per pair). *)
+let golden = 0x1E3779B97F4A7C15
+
+let mix h =
+  let h = h lxor (h lsr 30) in
+  let h = h * 0x3F58476D1CE4E5B9 in
+  let h = h lxor (h lsr 27) in
+  let h = h * 0x14D049BB133111EB in
+  h lxor (h lsr 31)
+
+let fresh t =
+  t.counter <- t.counter + 1;
+  mix (t.master + (t.counter * golden))
+
+let fresh_rng t = Mwc.create ~seed:(fresh t)

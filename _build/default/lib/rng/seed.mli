@@ -1,0 +1,26 @@
+(** Seed source: a deterministic stand-in for [/dev/urandom].
+
+    The paper seeds each replica's allocator from a source of true
+    randomness ([/dev/urandom] on Linux, §4.1).  For a reproducible
+    research artifact we replace true randomness with a deterministic
+    entropy pool: a master seed expands into an arbitrary stream of
+    distinct, well-mixed seeds.  Two pools with different master seeds
+    behave like independent entropy sources; re-running with the same
+    master seed reproduces every experiment bit-for-bit. *)
+
+type t
+(** An entropy pool. *)
+
+val create : master:int -> t
+(** [create ~master] builds a pool from a master seed. *)
+
+val of_time : unit -> t
+(** A pool seeded from the wall clock — the "deployment" configuration,
+    used when reproducibility is not wanted. *)
+
+val fresh : t -> int
+(** [fresh t] draws the next seed from the pool.  Successive draws are
+    distinct with overwhelming probability and statistically unrelated. *)
+
+val fresh_rng : t -> Mwc.t
+(** [fresh_rng t] is [Mwc.create ~seed:(fresh t)]. *)

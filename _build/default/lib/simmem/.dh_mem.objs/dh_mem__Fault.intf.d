@@ -1,0 +1,1 @@
+lib/simmem/fault.mli: Format

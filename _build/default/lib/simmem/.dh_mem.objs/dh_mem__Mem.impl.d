@@ -1,0 +1,1 @@
+lib/simmem/mem.ml: Array Buffer Bytes Char Dh_rng Fault Hashtbl Int Int64 Map Option String

@@ -1,0 +1,1 @@
+lib/simmem/mem.mli: Dh_rng

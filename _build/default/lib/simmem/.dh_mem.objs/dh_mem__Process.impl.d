@@ -1,0 +1,1 @@
+lib/simmem/process.ml: Buffer Fault Format

@@ -1,0 +1,1 @@
+lib/simmem/process.mli: Fault Format

@@ -1,0 +1,25 @@
+type access = Read | Write
+
+type t =
+  | Unmapped of { addr : int; access : access }
+  | Protection of { addr : int; access : access }
+  | Unmap_unmapped of { addr : int }
+
+exception Error of t
+
+let raise_fault t = raise (Error t)
+
+let pp_access ppf = function
+  | Read -> Format.pp_print_string ppf "read"
+  | Write -> Format.pp_print_string ppf "write"
+
+let pp ppf = function
+  | Unmapped { addr; access } ->
+    Format.fprintf ppf "segfault: %a of unmapped address 0x%x" pp_access access addr
+  | Protection { addr; access } ->
+    Format.fprintf ppf "segfault: %a violates page protection at 0x%x" pp_access
+      access addr
+  | Unmap_unmapped { addr } ->
+    Format.fprintf ppf "munmap of unmapped address 0x%x" addr
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,30 @@
+(** Memory faults raised by the simulated address space.
+
+    A fault is the simulation's analogue of a hardware trap (SIGSEGV /
+    SIGBUS).  Illegal accesses raise {!Error}; {!Process.run} catches it at
+    the simulated process boundary and reports the process as crashed —
+    exactly the observable behaviour the paper's baseline experiments rely
+    on ("crashes with a segmentation fault", §7.3). *)
+
+type access = Read | Write
+(** The direction of the faulting access. *)
+
+type t =
+  | Unmapped of { addr : int; access : access }
+      (** Access to an address in no mapped segment. *)
+  | Protection of { addr : int; access : access }
+      (** Access violating a page's protection, e.g. a guard-page hit. *)
+  | Unmap_unmapped of { addr : int }
+      (** [munmap] of an address that is not a mapped segment base. *)
+
+exception Error of t
+(** The simulated trap. *)
+
+val raise_fault : t -> 'a
+(** Raise {!Error}. *)
+
+val pp_access : Format.formatter -> access -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,300 @@
+type prot = No_access | Read_only | Read_write
+
+let page_size = 4096
+let word_size = 8
+
+type segment = {
+  base : int;
+  len : int;  (* page-rounded *)
+  data : Bytes.t;
+  prot : prot array;  (* one entry per page *)
+  touched : bool array;  (* pages written at least once *)
+}
+
+module Imap = Map.Make (Int)
+
+type stats = {
+  reads : int;
+  writes : int;
+  mmaps : int;
+  munmaps : int;
+  tlb_misses : int;
+  cache_misses : int;
+}
+
+(* A small TLB model: [tlb_entries] pages, FIFO replacement.  Feeds the
+   benchmark harness's cost model — random object placement (DieHard)
+   touches many more pages than a compact allocator, which is exactly
+   the overhead the paper attributes DieHard's slowdowns to (§4.5,
+   §7.2.1: twolf "is due not to the cost of allocation but to TLB
+   misses"). *)
+let tlb_entries = 64
+
+(* Data-cache model: [cache_lines] 64-byte lines, FIFO replacement.
+   Charges cold traversals (GC marking, randomly-placed objects) that a
+   purely functional simulator would otherwise treat as free. *)
+let cache_lines = 1024
+let cache_line_shift = 6
+
+type t = {
+  mutable segments : segment Imap.t;  (* keyed by base *)
+  mutable next_base : int;
+  mutable cache : segment option;  (* last segment hit *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable mmaps : int;
+  mutable munmaps : int;
+  mutable touched_pages : int;
+  tlb_pages : int array;
+  tlb_set : (int, unit) Hashtbl.t;
+  mutable tlb_hand : int;
+  mutable tlb_misses : int;
+  cache_tags : int array;
+  cache_set : (int, unit) Hashtbl.t;
+  mutable cache_hand : int;
+  mutable cache_misses : int;
+}
+
+let create () =
+  {
+    segments = Imap.empty;
+    next_base = 16 * page_size;  (* keep a NULL-guard zone at the bottom *)
+    cache = None;
+    reads = 0;
+    writes = 0;
+    mmaps = 0;
+    munmaps = 0;
+    touched_pages = 0;
+    tlb_pages = Array.make tlb_entries (-1);
+    tlb_set = Hashtbl.create (2 * tlb_entries);
+    tlb_hand = 0;
+    tlb_misses = 0;
+    cache_tags = Array.make cache_lines (-1);
+    cache_set = Hashtbl.create (2 * cache_lines);
+    cache_hand = 0;
+    cache_misses = 0;
+  }
+
+let tlb_touch t addr =
+  let page = addr / page_size in
+  if not (Hashtbl.mem t.tlb_set page) then begin
+    t.tlb_misses <- t.tlb_misses + 1;
+    let old = t.tlb_pages.(t.tlb_hand) in
+    if old >= 0 then Hashtbl.remove t.tlb_set old;
+    t.tlb_pages.(t.tlb_hand) <- page;
+    Hashtbl.replace t.tlb_set page ();
+    t.tlb_hand <- (t.tlb_hand + 1) mod tlb_entries
+  end;
+  let line = addr lsr cache_line_shift in
+  if not (Hashtbl.mem t.cache_set line) then begin
+    t.cache_misses <- t.cache_misses + 1;
+    let old = t.cache_tags.(t.cache_hand) in
+    if old >= 0 then Hashtbl.remove t.cache_set old;
+    t.cache_tags.(t.cache_hand) <- line;
+    Hashtbl.replace t.cache_set line ();
+    t.cache_hand <- (t.cache_hand + 1) mod cache_lines
+  end
+
+let round_pages len = (len + page_size - 1) / page_size * page_size
+
+let mmap t ?(prot = Read_write) len =
+  if len <= 0 then invalid_arg "Mem.mmap: length must be positive";
+  let len = round_pages len in
+  let base = t.next_base in
+  (* Leave one unmapped hole page after each segment so that runs off the
+     end of a mapping fault instead of silently landing in the next one. *)
+  t.next_base <- base + len + page_size;
+  let pages = len / page_size in
+  let seg =
+    {
+      base;
+      len;
+      data = Bytes.make len '\000';
+      prot = Array.make pages prot;
+      touched = Array.make pages false;
+    }
+  in
+  t.segments <- Imap.add base seg t.segments;
+  t.mmaps <- t.mmaps + 1;
+  base
+
+let munmap t base =
+  match Imap.find_opt base t.segments with
+  | None -> Fault.raise_fault (Fault.Unmap_unmapped { addr = base })
+  | Some seg ->
+    t.segments <- Imap.remove base t.segments;
+    t.munmaps <- t.munmaps + 1;
+    (match t.cache with
+    | Some c when c.base = seg.base -> t.cache <- None
+    | Some _ | None -> ())
+
+let find_segment t addr =
+  match t.cache with
+  | Some seg when addr >= seg.base && addr < seg.base + seg.len -> Some seg
+  | Some _ | None -> (
+    match Imap.find_last_opt (fun base -> base <= addr) t.segments with
+    | Some (_, seg) when addr < seg.base + seg.len ->
+      t.cache <- Some seg;
+      Some seg
+    | Some _ | None -> None)
+
+let segment_of t addr =
+  match find_segment t addr with
+  | Some seg -> Some (seg.base, seg.len)
+  | None -> None
+
+let is_mapped t addr = Option.is_some (find_segment t addr)
+
+let mapped_bytes t = Imap.fold (fun _ seg acc -> acc + seg.len) t.segments 0
+
+let protect t ~addr ~len prot =
+  if len <= 0 then invalid_arg "Mem.protect: length must be positive";
+  match find_segment t addr with
+  | None -> Fault.raise_fault (Fault.Unmapped { addr; access = Write })
+  | Some seg ->
+    if addr + len > seg.base + seg.len then
+      Fault.raise_fault (Fault.Unmapped { addr = seg.base + seg.len; access = Write });
+    let first = (addr - seg.base) / page_size in
+    let last = (addr + len - 1 - seg.base) / page_size in
+    for p = first to last do
+      seg.prot.(p) <- prot
+    done
+
+(* Per-byte access check.  Returns the segment so callers can then touch
+   the backing bytes directly. *)
+let check t addr access =
+  tlb_touch t addr;
+  match find_segment t addr with
+  | None -> Fault.raise_fault (Fault.Unmapped { addr; access })
+  | Some seg ->
+    let page = (addr - seg.base) / page_size in
+    (match (seg.prot.(page), access) with
+    | Read_write, _ | Read_only, Fault.Read -> ()
+    | No_access, _ | Read_only, Fault.Write ->
+      Fault.raise_fault (Fault.Protection { addr; access }));
+    (match access with
+    | Fault.Write ->
+      if not seg.touched.(page) then begin
+        seg.touched.(page) <- true;
+        t.touched_pages <- t.touched_pages + 1
+      end
+    | Fault.Read -> ());
+    seg
+
+let read8 t addr =
+  t.reads <- t.reads + 1;
+  let seg = check t addr Fault.Read in
+  Char.code (Bytes.get seg.data (addr - seg.base))
+
+let write8 t addr v =
+  t.writes <- t.writes + 1;
+  let seg = check t addr Fault.Write in
+  Bytes.set seg.data (addr - seg.base) (Char.chr (v land 0xFF))
+
+(* Fast path for word access: when the whole word lies in one segment and
+   one page, use Bytes.{get,set}_int64_le; otherwise fall back bytewise so
+   faults land on the exact offending byte. *)
+let word_fast t addr access =
+  tlb_touch t addr;
+  match find_segment t addr with
+  | Some seg
+    when addr + word_size <= seg.base + seg.len
+         && (addr - seg.base) / page_size = (addr + word_size - 1 - seg.base) / page_size
+    -> (
+    let page = (addr - seg.base) / page_size in
+    match (seg.prot.(page), access) with
+    | Read_write, _ | Read_only, Fault.Read ->
+      (match access with
+      | Fault.Write ->
+        if not seg.touched.(page) then begin
+          seg.touched.(page) <- true;
+          t.touched_pages <- t.touched_pages + 1
+        end
+      | Fault.Read -> ());
+      Some seg
+    | No_access, _ | Read_only, Fault.Write -> None)
+  | Some _ | None -> None
+
+let read64 t addr =
+  t.reads <- t.reads + 1;
+  match word_fast t addr Fault.Read with
+  | Some seg -> Int64.to_int (Bytes.get_int64_le seg.data (addr - seg.base))
+  | None ->
+    let v = ref 0 in
+    for i = word_size - 1 downto 0 do
+      let seg = check t (addr + i) Fault.Read in
+      v := (!v lsl 8) lor Char.code (Bytes.get seg.data (addr + i - seg.base))
+    done;
+    !v
+
+let write64 t addr v =
+  t.writes <- t.writes + 1;
+  match word_fast t addr Fault.Write with
+  | Some seg -> Bytes.set_int64_le seg.data (addr - seg.base) (Int64.of_int v)
+  | None ->
+    for i = 0 to word_size - 1 do
+      let seg = check t (addr + i) Fault.Write in
+      Bytes.set seg.data (addr + i - seg.base) (Char.chr ((v lsr (8 * i)) land 0xFF))
+    done
+
+let read_bytes t ~addr ~len =
+  if len < 0 then invalid_arg "Mem.read_bytes: negative length";
+  let buf = Bytes.create len in
+  for i = 0 to len - 1 do
+    t.reads <- t.reads + 1;
+    let seg = check t (addr + i) Fault.Read in
+    Bytes.set buf i (Bytes.get seg.data (addr + i - seg.base))
+  done;
+  Bytes.unsafe_to_string buf
+
+let write_bytes t ~addr s =
+  String.iteri
+    (fun i c ->
+      t.writes <- t.writes + 1;
+      let seg = check t (addr + i) Fault.Write in
+      Bytes.set seg.data (addr + i - seg.base) c)
+    s
+
+let fill t ~addr ~len c =
+  for i = 0 to len - 1 do
+    t.writes <- t.writes + 1;
+    let seg = check t (addr + i) Fault.Write in
+    Bytes.set seg.data (addr + i - seg.base) c
+  done
+
+let fill_random t ~addr ~len rng =
+  let i = ref 0 in
+  while !i < len do
+    let v = Dh_rng.Mwc.next_u32 rng in
+    let n = min 4 (len - !i) in
+    for j = 0 to n - 1 do
+      t.writes <- t.writes + 1;
+      let seg = check t (addr + !i + j) Fault.Write in
+      Bytes.set seg.data (addr + !i + j - seg.base) (Char.chr ((v lsr (8 * j)) land 0xFF))
+    done;
+    i := !i + n
+  done
+
+let cstring t addr =
+  let buf = Buffer.create 16 in
+  let rec go a =
+    let c = read8 t a in
+    if c = 0 then Buffer.contents buf
+    else begin
+      Buffer.add_char buf (Char.chr c);
+      go (a + 1)
+    end
+  in
+  go addr
+
+let stats t =
+  {
+    reads = t.reads;
+    writes = t.writes;
+    mmaps = t.mmaps;
+    munmaps = t.munmaps;
+    tlb_misses = t.tlb_misses;
+    cache_misses = t.cache_misses;
+  }
+
+let touched_pages t = t.touched_pages

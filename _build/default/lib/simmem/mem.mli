@@ -1,0 +1,109 @@
+(** A simulated flat address space.
+
+    This is the substrate on which every allocator in the repository runs:
+    a byte-addressable sparse address space with [mmap]/[munmap], page
+    protection and faulting accesses.  It replaces the real process address
+    space of the paper's C implementation (see DESIGN.md, "The central
+    substitution").
+
+    Addresses are plain [int]s; address 0 is never mapped, so 0 serves as
+    NULL.  Words are 8 bytes, little-endian, matching the word size of the
+    MiniC machine in {!Dh_lang}. *)
+
+type prot =
+  | No_access  (** Guard page: any access faults. *)
+  | Read_only
+  | Read_write
+
+type t
+(** An address space. *)
+
+val page_size : int
+(** 4096, as on the paper's platforms. *)
+
+val word_size : int
+(** 8 bytes. *)
+
+val create : unit -> t
+(** A fresh, empty address space. *)
+
+(** {1 Mapping} *)
+
+val mmap : t -> ?prot:prot -> int -> int
+(** [mmap t len] maps a fresh zero-filled segment of [len] bytes (rounded
+    up to a whole number of pages) and returns its base address.  Fresh
+    segments never overlap live ones, and bases are page-aligned.
+    [prot] defaults to [Read_write]. *)
+
+val munmap : t -> int -> unit
+(** [munmap t base] unmaps the segment whose base is exactly [base].
+    Faults with [Unmap_unmapped] otherwise. *)
+
+val protect : t -> addr:int -> len:int -> prot -> unit
+(** [protect t ~addr ~len p] sets the protection of every page overlapping
+    [\[addr, addr+len)].  The range must lie inside one mapped segment. *)
+
+val is_mapped : t -> int -> bool
+(** [is_mapped t addr] is true if [addr] lies in a mapped segment
+    (regardless of protection). *)
+
+val segment_of : t -> int -> (int * int) option
+(** [segment_of t addr] is [Some (base, len)] for the mapped segment
+    containing [addr], if any. *)
+
+val mapped_bytes : t -> int
+(** Total bytes currently mapped (the simulation's resident-set proxy). *)
+
+(** {1 Access}
+
+    All accesses fault ({!Fault.Error}) on unmapped addresses or protection
+    violations.  Multi-byte accesses fault if any byte of the access is
+    illegal, and are not atomic with respect to faults (leading bytes of a
+    partially-legal write may have been written — like real hardware, where
+    a struct write across a guard page traps midway). *)
+
+val read8 : t -> int -> int
+val write8 : t -> int -> int -> unit
+
+val read64 : t -> int -> int
+(** Little-endian 8-byte load, returned as a 63-bit OCaml int (the top
+    byte's high bit is lost; the MiniC machine is a 63-bit-word machine). *)
+
+val write64 : t -> int -> int -> unit
+
+val read_bytes : t -> addr:int -> len:int -> string
+val write_bytes : t -> addr:int -> string -> unit
+
+val fill : t -> addr:int -> len:int -> char -> unit
+
+val fill_random : t -> addr:int -> len:int -> Dh_rng.Mwc.t -> unit
+(** Fill with pseudo-random bytes — the heap/object randomization step of
+    DieHard's replicated mode (§4.1, §4.2). *)
+
+val cstring : t -> int -> string
+(** [cstring t addr] reads a NUL-terminated string starting at [addr]
+    (faulting if it runs off mapped memory first). *)
+
+(** {1 Accounting} *)
+
+type stats = {
+  reads : int;  (** Number of load operations performed. *)
+  writes : int;  (** Number of store operations performed. *)
+  mmaps : int;
+  munmaps : int;
+  tlb_misses : int;
+      (** Misses in a 64-entry FIFO TLB model fed by every access — the
+          cost model's handle on page-level locality, which is where the
+          paper locates DieHard's overhead (§4.5, §7.2.1). *)
+  cache_misses : int;
+      (** Misses in a 1024-line (64 B) FIFO data-cache model — charges
+          cold traversals such as GC marking and randomly-placed object
+          touches. *)
+}
+
+val stats : t -> stats
+
+val touched_pages : t -> int
+(** Number of distinct pages ever written — the proxy this simulation uses
+    for resident-set size / page-level locality (paper §4.5 discusses
+    DieHard's poorer page-level locality). *)

@@ -1,0 +1,1 @@
+lib/workload/apps.ml: Buffer Dh_lang Printf String

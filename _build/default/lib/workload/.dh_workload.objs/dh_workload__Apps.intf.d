@@ -1,0 +1,1 @@
+lib/workload/apps.mli: Dh_alloc

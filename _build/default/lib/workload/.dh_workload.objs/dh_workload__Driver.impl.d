@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Array Dh_alloc Dh_mem Dh_rng Float Hashtbl List Option Profile

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Dh_alloc Profile

@@ -1,0 +1,122 @@
+module Allocator = Dh_alloc.Allocator
+module Mem = Dh_mem.Mem
+module Mwc = Dh_rng.Mwc
+module Dist = Dh_rng.Dist
+
+type result = {
+  checksum : int;
+  ops_performed : int;
+  failed_allocations : int;
+  peak_live : int;
+}
+
+(* Cheap integer mixing used as the "application compute" between
+   allocator operations. *)
+let mix h =
+  let h = h lxor (h lsr 16) in
+  let h = h * 0x45D9F3B land max_int in
+  h lxor (h lsr 13)
+
+let run ?(seed = 1) (profile : Profile.t) (alloc : Allocator.t) =
+  let rng = Mwc.create ~seed in
+  let mem = alloc.Allocator.mem in
+  let checksum = ref 0 in
+  let failed = ref 0 in
+  let live_count = ref 0 in
+  let peak_live = ref 0 in
+  (* objects due to be freed at a given op index *)
+  let frees_at : (int, (int * int) list) Hashtbl.t = Hashtbl.create 256 in
+  (* live table for GC roots *)
+  let live : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  (match alloc.Allocator.register_roots with
+  | Some register ->
+    register (fun () -> Hashtbl.fold (fun addr _ acc -> addr :: acc) live [])
+  | None -> ());
+  let release addr size =
+    ignore size;
+    Hashtbl.remove live addr;
+    decr live_count;
+    alloc.Allocator.free addr
+  in
+  let touch op addr size =
+    (* Write then read a prefix of the object, word-strided.  Values are
+       derived from the op counter, never from addresses, so the
+       checksum is identical under every allocator. *)
+    let bytes =
+      max 8 (int_of_float (float_of_int size *. profile.Profile.touch_fraction))
+    in
+    let words = min (bytes / 8) (size / 8) in
+    for w = 0 to words - 1 do
+      Mem.write64 mem (addr + (8 * w)) (mix ((op * 1021) + w))
+    done;
+    for w = 0 to words - 1 do
+      checksum := (!checksum + (Mem.read64 mem (addr + (8 * w)) land 0xFFFF)) land max_int
+    done
+  in
+  let pick_size () =
+    if profile.Profile.large_rate > 0. && Mwc.float01 rng < profile.Profile.large_rate
+    then 17_000 + Mwc.below rng 48_000
+    else Dist.size_class_mix rng ~classes:profile.Profile.sizes
+  in
+  for op = 1 to profile.Profile.ops do
+    (* 1. expire due objects *)
+    (match Hashtbl.find_opt frees_at op with
+    | Some objs ->
+      Hashtbl.remove frees_at op;
+      List.iter (fun (addr, size) -> release addr size) objs
+    | None -> ());
+    (* 2. application compute *)
+    let acc = ref op in
+    for _ = 1 to profile.Profile.compute_per_op do
+      acc := mix !acc
+    done;
+    checksum := (!checksum + (!acc land 0xFF)) land max_int;
+    (* 3. allocate and touch *)
+    let size = pick_size () in
+    (match alloc.Allocator.malloc size with
+    | None -> incr failed
+    | Some addr ->
+      Hashtbl.replace live addr size;
+      incr live_count;
+      if !live_count > !peak_live then peak_live := !live_count;
+      touch op addr size;
+      (* 4. schedule the free *)
+      let lifetime =
+        1 + Dist.geometric rng ~p:(1. /. Float.max 1.5 profile.Profile.lifetime_mean)
+      in
+      let due = op + lifetime in
+      if due <= profile.Profile.ops then begin
+        let pending = Option.value ~default:[] (Hashtbl.find_opt frees_at due) in
+        Hashtbl.replace frees_at due ((addr, size) :: pending)
+      end
+      else
+        (* survives to the end; freed in the epilogue *)
+        ())
+  done;
+  (* epilogue: free everything still live *)
+  let remaining = Hashtbl.fold (fun addr size acc -> (addr, size) :: acc) live [] in
+  List.iter (fun (addr, size) -> release addr size) remaining;
+  {
+    checksum = !checksum;
+    ops_performed = profile.Profile.ops;
+    failed_allocations = !failed;
+    peak_live = !peak_live;
+  }
+
+let live_load_factor (profile : Profile.t) =
+  let mean_size =
+    let total_w = Array.fold_left (fun acc (_, w) -> acc +. w) 0. profile.Profile.sizes in
+    Array.fold_left
+      (fun acc (s, w) -> acc +. (float_of_int s *. w /. total_w))
+      0. profile.Profile.sizes
+  in
+  mean_size *. profile.Profile.lifetime_mean
+
+let heap_size_for profile =
+  (* Each size class gets its own region; be generous so the busiest
+     class stays under its 1/M threshold. *)
+  let live = live_load_factor profile in
+  let region = int_of_float (live *. 16.) in
+  let region = max region (256 * 1024) in
+  let region = (region + 4095) / 4096 * 4096 in
+  Dh_alloc.Size_class.count * region

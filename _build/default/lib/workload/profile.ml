@@ -1,0 +1,109 @@
+type suite = Alloc_intensive | Spec
+
+type t = {
+  name : string;
+  suite : suite;
+  ops : int;
+  sizes : (int * float) array;
+  lifetime_mean : float;
+  touch_fraction : float;
+  compute_per_op : int;
+  large_rate : float;
+}
+
+(* Object-size mixes.  [small] = mostly sub-cache-line cells (cons cells,
+   small structs); [mixed] = typical C program mix; [wide] = the twolf
+   pattern ("a wide range of object sizes" spread across many size-class
+   partitions, §7.2.1); [buffers] = larger I/O-ish buffers. *)
+let small = [| (8, 0.3); (16, 0.4); (32, 0.2); (64, 0.1) |]
+let mixed = [| (16, 0.25); (32, 0.25); (64, 0.2); (128, 0.15); (256, 0.1); (1024, 0.05) |]
+
+let wide =
+  [| (8, 0.12); (16, 0.12); (24, 0.1); (48, 0.1); (96, 0.1); (192, 0.1);
+     (384, 0.1); (768, 0.08); (1536, 0.08); (3072, 0.05); (6144, 0.03);
+     (12288, 0.02) |]
+
+let buffers = [| (256, 0.3); (1024, 0.3); (4096, 0.3); (16384, 0.1) |]
+
+let ai name ops sizes lifetime_mean =
+  {
+    name;
+    suite = Alloc_intensive;
+    ops;
+    sizes;
+    lifetime_mean;
+    touch_fraction = 1.0;
+    compute_per_op = 4;  (* barely any compute between allocator calls *)
+    large_rate = 0.;
+  }
+
+let spec_p name ops sizes lifetime_mean ~compute ~touch ~large =
+  {
+    name;
+    suite = Spec;
+    ops;
+    sizes;
+    lifetime_mean;
+    touch_fraction = touch;
+    compute_per_op = compute;
+    large_rate = large;
+  }
+
+(* The allocation-intensive suite "performs between 100,000 and 1,700,000
+   memory operations per second" — i.e. allocator calls dominate.  Scaled
+   op counts keep bench runs in seconds. *)
+let alloc_intensive =
+  [
+    (* cfrac: continued-fraction factorisation; tiny bignum limbs,
+       short-lived. *)
+    ai "cfrac" 60_000 small 12.;
+    (* espresso: boolean minimisation; cube sets, small-to-medium arrays,
+       phase-structured lifetimes. *)
+    ai "espresso" 60_000 mixed 40.;
+    (* lindsay: hypercube simulator (the one with the uninitialized-read
+       bug the replicated mode catches). *)
+    ai "lindsay" 50_000 small 25.;
+    (* p2c: Pascal-to-C translator; AST nodes, strings. *)
+    ai "p2c" 50_000 mixed 60.;
+    (* roboop: robotics library; many tiny matrix temporaries, freed
+       almost immediately. *)
+    ai "roboop" 80_000 small 4.;
+  ]
+
+let spec =
+  [
+    (* gzip: big I/O buffers allocated rarely. *)
+    spec_p "164.gzip" 2_000 buffers 200. ~compute:2_000 ~touch:0.5 ~large:0.005;
+    (* vpr: placement/routing graphs. *)
+    spec_p "175.vpr" 6_000 mixed 300. ~compute:700 ~touch:0.6 ~large:0.;
+    (* gcc: front-end allocation bursts, obstack-ish lifetimes. *)
+    spec_p "176.gcc" 15_000 mixed 150. ~compute:250 ~touch:0.5 ~large:0.001;
+    (* mcf: one huge network allocated up front, then pure pointer
+       chasing. *)
+    spec_p "181.mcf" 1_200 buffers 800. ~compute:2_500 ~touch:0.8 ~large:0.01;
+    (* crafty: chess; almost no dynamic allocation. *)
+    spec_p "186.crafty" 800 small 400. ~compute:4_000 ~touch:0.4 ~large:0.;
+    (* parser: dictionary cells, its own sub-allocator behaviour. *)
+    spec_p "197.parser" 12_000 small 80. ~compute:300 ~touch:0.8 ~large:0.;
+    (* eon: C++ ray tracer; many small objects. *)
+    spec_p "252.eon" 9_000 small 60. ~compute:400 ~touch:0.7 ~large:0.;
+    (* perlbmk: "allocation-intensive, spending around 12.5% of its
+       execution doing memory operations" — the SPEC outlier. *)
+    spec_p "253.perlbmk" 30_000 mixed 50. ~compute:60 ~touch:0.9 ~large:0.;
+    (* gap: group theory; workspace arena plus small cells. *)
+    spec_p "254.gap" 5_000 mixed 250. ~compute:900 ~touch:0.6 ~large:0.002;
+    (* vortex: OO database; medium records with long lifetimes. *)
+    spec_p "255.vortex" 10_000 mixed 400. ~compute:350 ~touch:0.7 ~large:0.;
+    (* bzip2: a few large block buffers. *)
+    spec_p "256.bzip2" 1_000 buffers 300. ~compute:3_000 ~touch:0.6 ~large:0.01;
+    (* twolf: the TLB-miss case — wide size range over many partitions,
+       heavy touching of spread-out objects. *)
+    spec_p "300.twolf" 25_000 wide 120. ~compute:80 ~touch:1.0 ~large:0.;
+  ]
+
+let all = alloc_intensive @ spec
+
+let find name = List.find_opt (fun p -> p.name = name) all
+
+let scale p ~factor =
+  { p with ops = max 1 (int_of_float (float_of_int p.ops *. factor)) }

@@ -1,0 +1,53 @@
+(** Synthetic stand-ins for the paper's benchmark programs (§7.1).
+
+    We cannot run SPECint2000 binaries or the Berger–Zorn–McKinley
+    allocation-intensive C programs on a simulated heap, so each
+    benchmark is replaced by a parameterised allocation profile that
+    reproduces the {e property the paper's experiment depends on}: its
+    allocation intensity (the fraction of work that is memory-management
+    operations), its object-size mix, and its object lifetimes.
+
+    The paper's Figure 5 story is: DieHard costs little on programs that
+    allocate rarely (most of SPECint) and noticeably on programs that
+    allocate constantly (cfrac, espresso, …, and perlbmk/twolf within
+    SPEC).  The profiles below encode exactly that axis:
+    [compute_per_op] is the units of non-allocator compute between
+    allocator operations — small for the allocation-intensive suite,
+    large for most of SPEC.  Size mixes are chosen per program (e.g.
+    twolf uses "a wide range of object sizes", §7.2.1).
+
+    Parameters are invented but documented; absolute runtimes are
+    meaningless, only the {e relative shape} across allocators is
+    compared with the paper (see EXPERIMENTS.md). *)
+
+type suite = Alloc_intensive | Spec
+
+type t = {
+  name : string;
+  suite : suite;
+  ops : int;  (** malloc/free pairs to perform (scaled down from reality). *)
+  sizes : (int * float) array;  (** (bytes, weight) object-size mix. *)
+  lifetime_mean : float;
+      (** Mean object lifetime in {e allocations} (geometric). *)
+  touch_fraction : float;
+      (** Fraction of each object's bytes written+read after allocation
+          (locality pressure: DieHard's random placement spreads these
+          touches over many pages). *)
+  compute_per_op : int;
+      (** Units of pure compute between allocator operations — the
+          allocation-intensity dial. *)
+  large_rate : float;  (** Probability an allocation is > 16 KB. *)
+}
+
+val alloc_intensive : t list
+(** cfrac, espresso, lindsay, p2c, roboop. *)
+
+val spec : t list
+(** The twelve SPECint2000 programs of Figure 5(a). *)
+
+val all : t list
+
+val find : string -> t option
+
+val scale : t -> factor:float -> t
+(** Scale [ops] (for quick test runs vs. full bench runs). *)

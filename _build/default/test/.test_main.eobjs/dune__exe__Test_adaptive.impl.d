@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Alcotest Array Dh_alloc Dh_mem Dh_workload Diehard Fun List Printf QCheck QCheck_alcotest String

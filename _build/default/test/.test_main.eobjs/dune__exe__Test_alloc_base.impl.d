@@ -1,0 +1,1 @@
+test/test_alloc_base.ml: Alcotest Bitmap Char Cstring Dh_alloc Dh_mem List Printf QCheck QCheck_alcotest Size_class Stats String

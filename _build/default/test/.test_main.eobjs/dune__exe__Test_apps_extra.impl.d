@@ -1,0 +1,1 @@
+test/test_apps_extra.ml: Alcotest Dh_alloc Dh_fault Dh_mem Dh_workload Diehard Format List Printf String

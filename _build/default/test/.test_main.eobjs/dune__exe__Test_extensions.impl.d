@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Dh_alloc Dh_lang Dh_mem Dh_rng Dh_workload Diehard Freelist Gc Policy Printf Rescue Stats

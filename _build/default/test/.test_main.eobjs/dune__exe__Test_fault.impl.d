@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Campaign Dh_alloc Dh_fault Dh_lang Dh_mem Diehard Format Injector List Printf

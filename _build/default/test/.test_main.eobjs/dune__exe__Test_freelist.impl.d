@@ -1,0 +1,1 @@
+test/test_freelist.ml: Alcotest Allocator Dh_alloc Dh_mem Freelist List QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest Allocator Dh_alloc Dh_mem Gc Stats

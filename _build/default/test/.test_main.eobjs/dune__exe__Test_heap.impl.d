@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Array Config Dh_alloc Dh_mem Diehard Hashtbl Heap List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_hybrid.ml: Alcotest Dh_alloc Dh_mem Dh_workload Diehard Printf

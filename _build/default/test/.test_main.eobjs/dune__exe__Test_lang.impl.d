@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Dh_alloc Dh_lang Dh_mem Diehard Interp Lexer List Parser QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Dh_mem Dh_rng Fault List Mem Process QCheck QCheck_alcotest String

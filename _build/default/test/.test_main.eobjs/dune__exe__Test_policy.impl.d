@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Allocator Dh_alloc Dh_mem Freelist List Policy Trace

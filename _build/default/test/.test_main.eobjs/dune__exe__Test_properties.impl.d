@@ -1,0 +1,1 @@
+test/test_properties.ml: Config Dh_alloc Dh_analysis Dh_lang Dh_mem Diehard Heap List Printf QCheck QCheck_alcotest String Voter

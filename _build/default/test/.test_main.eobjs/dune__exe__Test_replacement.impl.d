@@ -1,0 +1,1 @@
+test/test_replacement.ml: Alcotest Dh_alloc Dh_mem Dh_rng Diehard List

@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Char Config Dh_alloc Dh_mem Dh_rng Diehard Heap List Replicated Shim String Voter

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Dh_rng Dist Hashtbl List Mwc Printf QCheck QCheck_alcotest Seed

@@ -1,0 +1,1 @@
+test/test_theorems.ml: Alcotest Array Dh_analysis Dh_rng List Printf Theorems

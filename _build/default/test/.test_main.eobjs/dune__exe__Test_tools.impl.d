@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Dh_alloc Dh_lang Dh_mem Dh_rng Dh_workload Diehard Format List String

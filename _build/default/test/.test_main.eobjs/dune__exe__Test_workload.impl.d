@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Apps Array Dh_alloc Dh_mem Dh_workload Diehard Driver List Printf Profile String

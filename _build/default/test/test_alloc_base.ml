@@ -1,0 +1,230 @@
+(* Tests for the allocator substrate: size classes, bitmaps, stats and the
+   unsafe C string routines. *)
+
+open Dh_alloc
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- size classes --- *)
+
+let test_class_geometry () =
+  check_int "twelve classes" 12 Size_class.count;
+  check_int "min" 8 Size_class.min_size;
+  check_int "max" 16384 Size_class.max_size;
+  for c = 0 to Size_class.count - 1 do
+    check_int "size is 8<<c" (8 lsl c) (Size_class.size c);
+    check_int "log2 size" (3 + c) (Size_class.log2_size c);
+    check_int "size = 1 lsl log2" (1 lsl Size_class.log2_size c) (Size_class.size c)
+  done
+
+let test_of_size_boundaries () =
+  let cases =
+    [ (1, 0); (8, 0); (9, 1); (16, 1); (17, 2); (24, 2); (32, 2); (33, 3);
+      (4096, 9); (4097, 10); (16384, 11) ]
+  in
+  List.iter
+    (fun (sz, expected) ->
+      match Size_class.of_size sz with
+      | Some c -> check_int (Printf.sprintf "class of %d" sz) expected c
+      | None -> Alcotest.fail (Printf.sprintf "size %d should be small" sz))
+    cases
+
+let test_of_size_large () =
+  check "16K+1 is large" true (Size_class.of_size 16385 = None);
+  check "zero invalid" true (Size_class.of_size 0 = None);
+  check "negative invalid" true (Size_class.of_size (-1) = None)
+
+let test_of_size_matches_naive () =
+  (* The shifted form must agree with the naive ceil(log2)-3 formula. *)
+  for sz = 1 to 16384 do
+    let naive =
+      let rec go c = if 8 lsl c >= sz then c else go (c + 1) in
+      go 0
+    in
+    check_int (Printf.sprintf "size %d" sz) naive (Size_class.of_size_exn sz)
+  done
+
+let test_round_up () =
+  check_int "1 -> 8" 8 (Size_class.round_up 1);
+  check_int "9 -> 16" 16 (Size_class.round_up 9);
+  check_int "16384 -> 16384" 16384 (Size_class.round_up 16384)
+
+let test_is_aligned () =
+  check "0 aligned" true (Size_class.is_aligned ~offset:0 ~class_:3);
+  check "64 aligned for class 3" true (Size_class.is_aligned ~offset:64 ~class_:3);
+  check "60 not aligned for class 3" false (Size_class.is_aligned ~offset:60 ~class_:3);
+  (* mask form must agree with modulus for a sweep of offsets *)
+  for off = 0 to 1000 do
+    check "mask = mod" (off mod 32 = 0) (Size_class.is_aligned ~offset:off ~class_:2)
+  done
+
+(* --- bitmap --- *)
+
+let test_bitmap_basic () =
+  let b = Bitmap.create 100 in
+  check_int "empty" 0 (Bitmap.cardinal b);
+  Bitmap.set b 0;
+  Bitmap.set b 63;
+  Bitmap.set b 99;
+  check "get set bits" true (Bitmap.get b 0 && Bitmap.get b 63 && Bitmap.get b 99);
+  check "unset bit clear" false (Bitmap.get b 50);
+  check_int "cardinal" 3 (Bitmap.cardinal b);
+  Bitmap.clear b 63;
+  check "cleared" false (Bitmap.get b 63);
+  check_int "cardinal after clear" 2 (Bitmap.cardinal b)
+
+let test_bitmap_idempotent () =
+  let b = Bitmap.create 10 in
+  Bitmap.set b 5;
+  Bitmap.set b 5;
+  check_int "double set counted once" 1 (Bitmap.cardinal b);
+  Bitmap.clear b 5;
+  Bitmap.clear b 5;
+  check_int "double clear counted once" 0 (Bitmap.cardinal b)
+
+let test_bitmap_bounds () =
+  let b = Bitmap.create 8 in
+  Alcotest.check_raises "negative" (Invalid_argument "Bitmap: index out of range")
+    (fun () -> ignore (Bitmap.get b (-1)));
+  Alcotest.check_raises "past end" (Invalid_argument "Bitmap: index out of range")
+    (fun () -> Bitmap.set b 8)
+
+let test_bitmap_iter_set () =
+  let b = Bitmap.create 50 in
+  List.iter (Bitmap.set b) [ 3; 17; 42 ];
+  let seen = ref [] in
+  Bitmap.iter_set b (fun i -> seen := i :: !seen);
+  Alcotest.(check (list int)) "ascending order" [ 3; 17; 42 ] (List.rev !seen)
+
+let test_bitmap_clear_all () =
+  let b = Bitmap.create 64 in
+  for i = 0 to 63 do
+    Bitmap.set b i
+  done;
+  Bitmap.clear_all b;
+  check_int "all clear" 0 (Bitmap.cardinal b);
+  check "first clear is 0" true (Bitmap.first_clear b = Some 0)
+
+let test_bitmap_first_clear () =
+  let b = Bitmap.create 3 in
+  Bitmap.set b 0;
+  check "first clear skips set" true (Bitmap.first_clear b = Some 1);
+  Bitmap.set b 1;
+  Bitmap.set b 2;
+  check "full bitmap" true (Bitmap.first_clear b = None)
+
+let prop_bitmap_cardinal_consistent =
+  QCheck.Test.make ~name:"bitmap cardinal equals recount after random ops" ~count:200
+    QCheck.(list (pair bool (int_bound 199)))
+    (fun ops ->
+      let b = Bitmap.create 200 in
+      List.iter (fun (set, i) -> if set then Bitmap.set b i else Bitmap.clear b i) ops;
+      let recount = ref 0 in
+      for i = 0 to 199 do
+        if Bitmap.get b i then incr recount
+      done;
+      !recount = Bitmap.cardinal b)
+
+(* --- stats --- *)
+
+let test_stats_accounting () =
+  let s = Stats.create () in
+  Stats.on_malloc s ~requested:10 ~reserved:16;
+  Stats.on_malloc s ~requested:100 ~reserved:128;
+  check_int "mallocs" 2 s.Stats.mallocs;
+  check_int "live bytes" 144 s.Stats.live_bytes;
+  check_int "peak" 144 s.Stats.peak_live_bytes;
+  Stats.on_free s ~reserved:16;
+  check_int "live after free" 128 s.Stats.live_bytes;
+  check_int "peak sticky" 144 s.Stats.peak_live_bytes;
+  check_int "live objects" 1 s.Stats.live_objects
+
+(* --- unsafe C strings --- *)
+
+let with_mem f =
+  let mem = Dh_mem.Mem.create () in
+  f mem (Dh_mem.Mem.mmap mem 4096)
+
+let test_strlen () =
+  with_mem (fun mem a ->
+      Cstring.write_string mem ~addr:a "hello";
+      check_int "strlen" 5 (Cstring.strlen mem a);
+      Cstring.write_string mem ~addr:(a + 100) "";
+      check_int "empty" 0 (Cstring.strlen mem (a + 100)))
+
+let test_strcpy_copies_nul () =
+  with_mem (fun mem a ->
+      Cstring.write_string mem ~addr:a "copy me";
+      Dh_mem.Mem.fill mem ~addr:(a + 100) ~len:20 'Z';
+      Cstring.strcpy mem ~dst:(a + 100) ~src:a;
+      check_string "copied" "copy me" (Dh_mem.Mem.cstring mem (a + 100));
+      check_int "NUL written" 0 (Dh_mem.Mem.read8 mem (a + 107));
+      check_int "byte after NUL untouched" (Char.code 'Z') (Dh_mem.Mem.read8 mem (a + 108)))
+
+let test_strncpy_pads () =
+  with_mem (fun mem a ->
+      Cstring.write_string mem ~addr:a "ab";
+      Dh_mem.Mem.fill mem ~addr:(a + 100) ~len:8 'Z';
+      Cstring.strncpy mem ~dst:(a + 100) ~src:a ~n:6;
+      check_string "content + NUL padding" "ab\000\000\000\000ZZ"
+        (Dh_mem.Mem.read_bytes mem ~addr:(a + 100) ~len:8))
+
+let test_strncpy_truncates () =
+  with_mem (fun mem a ->
+      Cstring.write_string mem ~addr:a "abcdef";
+      Cstring.strncpy mem ~dst:(a + 100) ~src:a ~n:3;
+      check_string "no NUL when truncated" "abc"
+        (Dh_mem.Mem.read_bytes mem ~addr:(a + 100) ~len:3))
+
+let test_strcmp () =
+  with_mem (fun mem a ->
+      Cstring.write_string mem ~addr:a "abc";
+      Cstring.write_string mem ~addr:(a + 50) "abc";
+      Cstring.write_string mem ~addr:(a + 100) "abd";
+      check_int "equal" 0 (Cstring.strcmp mem a (a + 50));
+      check "less" true (Cstring.strcmp mem a (a + 100) < 0);
+      check "greater" true (Cstring.strcmp mem (a + 100) a > 0))
+
+let test_memcpy_memset () =
+  with_mem (fun mem a ->
+      Cstring.memset mem ~dst:a ~c:7 ~n:16;
+      check_int "memset" 7 (Dh_mem.Mem.read8 mem (a + 15));
+      Cstring.memcpy mem ~dst:(a + 100) ~src:a ~n:16;
+      check_int "memcpy" 7 (Dh_mem.Mem.read8 mem (a + 115)))
+
+let test_strcpy_overflows_without_bounds () =
+  (* The unchecked strcpy must happily run past a small destination — the
+     behaviour DieHard's shim exists to stop. *)
+  with_mem (fun mem a ->
+      Cstring.write_string mem ~addr:a (String.make 64 'A');
+      Dh_mem.Mem.fill mem ~addr:(a + 100) ~len:80 '.';
+      Cstring.strcpy mem ~dst:(a + 100) ~src:a;
+      (* bytes past any 8-byte "object" at a+100 got clobbered *)
+      check_int "overflowed" (Char.code 'A') (Dh_mem.Mem.read8 mem (a + 150)))
+
+let suite =
+  [
+    Alcotest.test_case "size class geometry" `Quick test_class_geometry;
+    Alcotest.test_case "of_size boundaries" `Quick test_of_size_boundaries;
+    Alcotest.test_case "of_size large/invalid" `Quick test_of_size_large;
+    Alcotest.test_case "of_size matches naive" `Quick test_of_size_matches_naive;
+    Alcotest.test_case "round_up" `Quick test_round_up;
+    Alcotest.test_case "is_aligned" `Quick test_is_aligned;
+    Alcotest.test_case "bitmap basic" `Quick test_bitmap_basic;
+    Alcotest.test_case "bitmap idempotent" `Quick test_bitmap_idempotent;
+    Alcotest.test_case "bitmap bounds" `Quick test_bitmap_bounds;
+    Alcotest.test_case "bitmap iter_set" `Quick test_bitmap_iter_set;
+    Alcotest.test_case "bitmap clear_all" `Quick test_bitmap_clear_all;
+    Alcotest.test_case "bitmap first_clear" `Quick test_bitmap_first_clear;
+    QCheck_alcotest.to_alcotest prop_bitmap_cardinal_consistent;
+    Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+    Alcotest.test_case "strlen" `Quick test_strlen;
+    Alcotest.test_case "strcpy" `Quick test_strcpy_copies_nul;
+    Alcotest.test_case "strncpy pads" `Quick test_strncpy_pads;
+    Alcotest.test_case "strncpy truncates" `Quick test_strncpy_truncates;
+    Alcotest.test_case "strcmp" `Quick test_strcmp;
+    Alcotest.test_case "memcpy/memset" `Quick test_memcpy_memset;
+    Alcotest.test_case "strcpy overflows unchecked" `Quick test_strcpy_overflows_without_bounds;
+  ]

@@ -1,0 +1,266 @@
+(* Tests for the fault injector and the campaign runner (§7.3.1). *)
+
+module Mem = Dh_mem.Mem
+module Allocator = Dh_alloc.Allocator
+module Trace = Dh_alloc.Trace
+module Program = Dh_alloc.Program
+open Dh_fault
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fresh_freelist () =
+  let mem = Mem.create () in
+  Dh_alloc.Freelist.allocator (Dh_alloc.Freelist.create mem)
+
+let fresh_diehard ?(seed = 1) () =
+  let mem = Mem.create () in
+  let config = Diehard.Config.v ~heap_size:(12 * 256 * 1024) ~seed () in
+  Diehard.Heap.allocator (Diehard.Heap.create ~config mem)
+
+(* --- injector mechanics --- *)
+
+let test_nothing_spec_is_identity () =
+  let a = fresh_freelist () in
+  let inj, wrapped = Injector.wrap Injector.nothing ~log:[] a in
+  let p = Allocator.malloc_exn wrapped 64 in
+  wrapped.Allocator.free p;
+  check_int "no underflows" 0 (Injector.injected_underflows inj);
+  check_int "no danglings" 0 (Injector.injected_danglings inj);
+  check_int "forwarded" 1 a.Allocator.stats.Dh_alloc.Stats.frees
+
+let test_underflow_shrinks_allocation () =
+  let a = fresh_freelist () in
+  let spec =
+    { Injector.nothing with
+      Injector.underflow_rate = 1.0;
+      underflow_bytes = 4;
+      underflow_min_size = 32
+    }
+  in
+  let inj, wrapped = Injector.wrap spec ~log:[] a in
+  (* 68 bytes: the freelist rounds to 8, so a 4-byte shave crosses a
+     rounding boundary and really shrinks the reservation (the same
+     rounding is why many of the paper's 4-byte underflows are absorbed
+     harmlessly by DieHard's power-of-two classes). *)
+  let p = Allocator.malloc_exn wrapped 68 in
+  check_int "every big alloc underflowed" 1 (Injector.injected_underflows inj);
+  (match a.Allocator.find_object p with
+  | Some { Allocator.size; _ } -> check "reserved less than asked" true (size < 68)
+  | None -> Alcotest.fail "object missing");
+  (* below the minimum size: untouched *)
+  ignore (Allocator.malloc_exn wrapped 16);
+  check_int "small allocs spared" 1 (Injector.injected_underflows inj)
+
+let test_underflow_rate_statistical () =
+  let a = fresh_diehard () in
+  let spec =
+    { Injector.nothing with
+      Injector.underflow_rate = 0.3;
+      underflow_bytes = 4;
+      underflow_min_size = 8;
+      seed = 42
+    }
+  in
+  let inj, wrapped = Injector.wrap spec ~log:[] a in
+  for _ = 1 to 2000 do
+    match wrapped.Allocator.malloc 64 with
+    | Some p -> wrapped.Allocator.free p
+    | None -> ()
+  done;
+  let rate = float_of_int (Injector.injected_underflows inj) /. 2000. in
+  check (Printf.sprintf "rate %.3f near 0.3" rate) true (abs_float (rate -. 0.3) < 0.05)
+
+let test_dangling_premature_free_and_swallow () =
+  (* Object allocated at time 1, freed at time 5; distance 3 means the
+     injected free fires at allocation-clock 2, and the program's own
+     free must be swallowed. *)
+  let a = fresh_freelist () in
+  let log = [ { Trace.alloc_time = 1; free_time = 5; size = 64 } ] in
+  let spec =
+    { Injector.nothing with Injector.dangling_rate = 1.0; dangling_distance = 3 }
+  in
+  let inj, wrapped = Injector.wrap spec ~log a in
+  let p1 = Allocator.malloc_exn wrapped 64 in
+  let _p2 = Allocator.malloc_exn wrapped 64 in
+  (* clock = 2: injection fired, p1 was freed under the hood *)
+  check_int "injected" 1 (Injector.injected_danglings inj);
+  check_int "underlying free happened" 1 a.Allocator.stats.Dh_alloc.Stats.frees;
+  let _p3 = Allocator.malloc_exn wrapped 64 in
+  let _p4 = Allocator.malloc_exn wrapped 64 in
+  let _p5 = Allocator.malloc_exn wrapped 64 in
+  (* program's own free of p1: swallowed *)
+  wrapped.Allocator.free p1;
+  check_int "actual free ignored" 1 a.Allocator.stats.Dh_alloc.Stats.frees;
+  (* freeing other objects still works *)
+  wrapped.Allocator.free _p2;
+  check_int "other frees pass" 2 a.Allocator.stats.Dh_alloc.Stats.frees
+
+let test_dangling_causes_reuse_under_freelist () =
+  (* The LIFO freelist hands the prematurely-freed chunk straight to the
+     next allocation: the hallmark failure DieHard avoids. *)
+  let a = fresh_freelist () in
+  let log = [ { Trace.alloc_time = 1; free_time = 10; size = 64 } ] in
+  let spec =
+    { Injector.nothing with Injector.dangling_rate = 1.0; dangling_distance = 8 }
+  in
+  let _, wrapped = Injector.wrap spec ~log a in
+  let p1 = Allocator.malloc_exn wrapped 64 in
+  let p2 = Allocator.malloc_exn wrapped 64 in
+  (* clock reached 2 = 10-8: p1 freed; next malloc reuses it *)
+  ignore p2;
+  let p3 = Allocator.malloc_exn wrapped 64 in
+  check_int "prematurely freed chunk reused immediately" p1 p3
+
+let test_dangling_distance_clamped_to_alloc () =
+  (* Lifetime shorter than the distance: the object is freed right at its
+     own allocation, not before it exists. *)
+  let a = fresh_freelist () in
+  let log = [ { Trace.alloc_time = 3; free_time = 5; size = 64 } ] in
+  let spec =
+    { Injector.nothing with Injector.dangling_rate = 1.0; dangling_distance = 100 }
+  in
+  let inj, wrapped = Injector.wrap spec ~log a in
+  ignore (Allocator.malloc_exn wrapped 64);
+  ignore (Allocator.malloc_exn wrapped 64);
+  check_int "nothing yet" 0 (Injector.injected_danglings inj);
+  ignore (Allocator.malloc_exn wrapped 64);
+  check_int "fired at its own allocation" 1 (Injector.injected_danglings inj)
+
+let test_double_free_injection () =
+  let a = fresh_diehard () in
+  let spec = { Injector.nothing with Injector.double_free_rate = 1.0 } in
+  let inj, wrapped = Injector.wrap spec ~log:[] a in
+  let p = Allocator.malloc_exn wrapped 64 in
+  wrapped.Allocator.free p;
+  check_int "double free injected" 1 (Injector.injected_double_frees inj);
+  (* DieHard ignored the second free *)
+  check_int "diehard ignored it" 1 a.Allocator.stats.Dh_alloc.Stats.ignored_frees
+
+let test_invalid_free_injection () =
+  let a = fresh_diehard () in
+  let spec = { Injector.nothing with Injector.invalid_free_rate = 1.0 } in
+  let inj, wrapped = Injector.wrap spec ~log:[] a in
+  let p = Allocator.malloc_exn wrapped 64 in
+  wrapped.Allocator.free p;
+  check_int "invalid free injected" 1 (Injector.injected_invalid_frees inj);
+  check "diehard ignored it" true (a.Allocator.stats.Dh_alloc.Stats.ignored_frees >= 1)
+
+(* --- campaign --- *)
+
+(* A tiny deterministic program with the dangling-vulnerable shape. *)
+let list_program =
+  Dh_lang.Interp.program_of_source ~name:"list"
+    {|
+fn main() {
+  var head = 0;
+  var acc = 0;
+  for (var i = 0; i < 200; i = i + 1) {
+    var n = malloc(16);
+    n[0] = i * 13 + 1;
+    n[1] = head;
+    head = n;
+    if (i % 4 == 3) {
+      var t = head;
+      acc = (acc + t[0]) % 997;
+      head = t[1];
+      free(t);
+    }
+  }
+  while (head) { var t = head; acc = (acc + t[0]) % 997; head = t[1]; free(t); }
+  print_int(acc);
+}
+|}
+
+let test_campaign_clean_spec_all_correct () =
+  let tally =
+    Campaign.run ~trials:5 ~spec:Injector.nothing
+      ~make_alloc:(fun ~trial ->
+        ignore trial;
+        fresh_freelist ())
+      list_program
+  in
+  check_int "all correct without injection" 5 tally.Campaign.correct
+
+let test_campaign_dangling_freelist_fails () =
+  let spec = { Injector.paper_dangling with Injector.dangling_distance = 6 } in
+  let tally =
+    Campaign.run ~trials:10 ~spec
+      ~make_alloc:(fun ~trial ->
+        ignore trial;
+        fresh_freelist ())
+      list_program
+  in
+  (* LIFO reuse overwrites prematurely-freed list cells: most runs must
+     go wrong (crash or wrong output). *)
+  check
+    (Format.asprintf "freelist mostly fails (%a)" Campaign.pp_tally tally)
+    true
+    (tally.Campaign.correct <= 3)
+
+let test_campaign_dangling_diehard_survives () =
+  let spec = { Injector.paper_dangling with Injector.dangling_distance = 6 } in
+  let tally =
+    Campaign.run ~trials:10 ~spec
+      ~make_alloc:(fun ~trial -> fresh_diehard ~seed:(trial + 1) ())
+      list_program
+  in
+  check
+    (Format.asprintf "diehard mostly survives (%a)" Campaign.pp_tally tally)
+    true
+    (tally.Campaign.correct >= 8)
+
+let test_campaign_classification () =
+  let reference = "expected" in
+  let mk outcome output = { Dh_mem.Process.outcome; output } in
+  check "correct" true
+    (Campaign.classify ~reference (mk (Dh_mem.Process.Exited 0) "expected")
+    = Campaign.Correct);
+  check "wrong output" true
+    (Campaign.classify ~reference (mk (Dh_mem.Process.Exited 0) "other")
+    = Campaign.Wrong_output);
+  check "crash" true
+    (Campaign.classify ~reference
+       (mk (Dh_mem.Process.Crashed (Dh_mem.Fault.Unmapped { addr = 0; access = Dh_mem.Fault.Read }))
+          "")
+    = Campaign.Crashed);
+  check "timeout" true
+    (Campaign.classify ~reference (mk Dh_mem.Process.Timeout "") = Campaign.Timed_out);
+  check "abort" true
+    (Campaign.classify ~reference (mk (Dh_mem.Process.Aborted "x") "") = Campaign.Aborted)
+
+let test_campaign_trials_differ () =
+  (* Different trials get different injection seeds, so outcomes can
+     differ — check the runs list length and that the injector seeds
+     produce at least some variation in a borderline setup. *)
+  let spec =
+    { Injector.nothing with Injector.dangling_rate = 0.15; dangling_distance = 4 }
+  in
+  let tally =
+    Campaign.run ~trials:10 ~spec
+      ~make_alloc:(fun ~trial ->
+        ignore trial;
+        fresh_freelist ())
+      list_program
+  in
+  check_int "ten runs recorded" 10 (List.length tally.Campaign.runs);
+  check_int "tally sums to trials" 10
+    (tally.Campaign.correct + tally.Campaign.wrong_output + tally.Campaign.crashed
+   + tally.Campaign.aborted + tally.Campaign.timed_out)
+
+let suite =
+  [
+    Alcotest.test_case "identity wrapper" `Quick test_nothing_spec_is_identity;
+    Alcotest.test_case "underflow shrinks" `Quick test_underflow_shrinks_allocation;
+    Alcotest.test_case "underflow rate" `Quick test_underflow_rate_statistical;
+    Alcotest.test_case "dangling fire+swallow" `Quick test_dangling_premature_free_and_swallow;
+    Alcotest.test_case "dangling LIFO reuse" `Quick test_dangling_causes_reuse_under_freelist;
+    Alcotest.test_case "dangling clamped" `Quick test_dangling_distance_clamped_to_alloc;
+    Alcotest.test_case "double-free injection" `Quick test_double_free_injection;
+    Alcotest.test_case "invalid-free injection" `Quick test_invalid_free_injection;
+    Alcotest.test_case "campaign clean" `Quick test_campaign_clean_spec_all_correct;
+    Alcotest.test_case "campaign: freelist fails" `Quick test_campaign_dangling_freelist_fails;
+    Alcotest.test_case "campaign: diehard survives" `Quick test_campaign_dangling_diehard_survives;
+    Alcotest.test_case "campaign classification" `Quick test_campaign_classification;
+    Alcotest.test_case "campaign bookkeeping" `Quick test_campaign_trials_differ;
+  ]

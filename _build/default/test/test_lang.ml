@@ -1,0 +1,471 @@
+(* Tests for MiniC: lexer, parser, pretty-printer roundtrip, interpreter
+   semantics, and the memory-error behaviours that make MiniC a faithful
+   stand-in for unsafe C programs. *)
+
+module Mem = Dh_mem.Mem
+module Process = Dh_mem.Process
+module Allocator = Dh_alloc.Allocator
+module Program = Dh_alloc.Program
+open Dh_lang
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* Run a source string under a fresh freelist allocator; return result. *)
+let run_freelist ?(input = "") ?(policy_kind = Dh_alloc.Policy.Raw) ?libc src =
+  let mem = Mem.create () in
+  let fl = Dh_alloc.Freelist.create mem in
+  let program = Interp.program_of_source ?libc ~name:"test" src in
+  Program.run ~policy_kind ~input program (Dh_alloc.Freelist.allocator fl)
+
+let run_diehard ?(input = "") ?libc ?(seed = 1) src =
+  let mem = Mem.create () in
+  let config = Diehard.Config.v ~heap_size:(12 * 64 * 1024) ~seed () in
+  let heap = Diehard.Heap.create ~config mem in
+  let program = Interp.program_of_source ?libc ~name:"test" src in
+  Program.run ~input program (Diehard.Heap.allocator heap)
+
+let output_of result = result.Process.output
+
+let expect_output ?input ?libc src expected =
+  let r = run_freelist ?input ?libc src in
+  (match r.Process.outcome with
+  | Process.Exited 0 -> ()
+  | other -> Alcotest.failf "program did not exit cleanly: %s" (Process.outcome_to_string other));
+  check_string "output" expected (output_of r)
+
+(* --- lexer --- *)
+
+let test_lex_basics () =
+  let toks = Lexer.tokenize "fn main() { var x = 42; }" in
+  let kinds = Array.to_list (Array.map (fun p -> p.Lexer.token) toks) in
+  check "token stream" true
+    (kinds
+    = [ Lexer.KW_FN; Lexer.IDENT "main"; Lexer.LPAREN; Lexer.RPAREN; Lexer.LBRACE;
+        Lexer.KW_VAR; Lexer.IDENT "x"; Lexer.EQ; Lexer.INT 42; Lexer.SEMI;
+        Lexer.RBRACE; Lexer.EOF ])
+
+let test_lex_operators () =
+  let toks = Lexer.tokenize "== != <= >= << >> && || = < >" in
+  let kinds = Array.to_list (Array.map (fun p -> p.Lexer.token) toks) in
+  check "operators" true
+    (kinds
+    = [ Lexer.EQEQ; Lexer.NE; Lexer.LE; Lexer.GE; Lexer.SHL; Lexer.SHR;
+        Lexer.AMPAMP; Lexer.PIPEPIPE; Lexer.EQ; Lexer.LT; Lexer.GT; Lexer.EOF ])
+
+let test_lex_string_escapes () =
+  let toks = Lexer.tokenize {|"a\nb\t\"c\\" 'x' '\n'|} in
+  (match toks.(0).Lexer.token with
+  | Lexer.STRING s -> check_string "escapes" "a\nb\t\"c\\" s
+  | _ -> Alcotest.fail "expected string");
+  (match toks.(1).Lexer.token with
+  | Lexer.CHAR 'x' -> ()
+  | _ -> Alcotest.fail "expected char");
+  match toks.(2).Lexer.token with
+  | Lexer.CHAR '\n' -> ()
+  | _ -> Alcotest.fail "expected newline char"
+
+let test_lex_comments () =
+  let toks = Lexer.tokenize "1 // comment\n 2 /* multi\nline */ 3" in
+  let ints =
+    Array.to_list toks
+    |> List.filter_map (fun p ->
+           match p.Lexer.token with Lexer.INT n -> Some n | _ -> None)
+  in
+  Alcotest.(check (list int)) "comments skipped" [ 1; 2; 3 ] ints
+
+let test_lex_positions () =
+  let toks = Lexer.tokenize "a\n  b" in
+  check_int "a line" 1 toks.(0).Lexer.line;
+  check_int "b line" 2 toks.(1).Lexer.line;
+  check_int "b col" 3 toks.(1).Lexer.col
+
+let test_lex_error () =
+  match Lexer.tokenize "a $ b" with
+  | exception Lexer.Lex_error (_, 1, 3) -> ()
+  | exception Lexer.Lex_error (_, l, c) ->
+    Alcotest.failf "wrong position %d:%d" l c
+  | _ -> Alcotest.fail "expected lex error"
+
+(* --- parser --- *)
+
+let test_parse_precedence () =
+  let e = Parser.parse_expr "1 + 2 * 3" in
+  check "mul binds tighter" true
+    (e = Ast.Binop (Ast.Add, Ast.Int 1, Ast.Binop (Ast.Mul, Ast.Int 2, Ast.Int 3)));
+  let e = Parser.parse_expr "1 < 2 && 3 < 4" in
+  (match e with
+  | Ast.Binop (Ast.And, Ast.Binop (Ast.Lt, _, _), Ast.Binop (Ast.Lt, _, _)) -> ()
+  | _ -> Alcotest.fail "comparison binds tighter than &&");
+  let e = Parser.parse_expr "1 + 2 + 3" in
+  match e with
+  | Ast.Binop (Ast.Add, Ast.Binop (Ast.Add, _, _), _) -> ()
+  | _ -> Alcotest.fail "addition is left-associative"
+
+let test_parse_unary_and_index () =
+  (match Parser.parse_expr "*p" with
+  | Ast.Unop (Ast.Deref, Ast.Var "p") -> ()
+  | _ -> Alcotest.fail "deref");
+  (match Parser.parse_expr "a[i + 1]" with
+  | Ast.Index (Ast.Var "a", Ast.Binop (Ast.Add, _, _)) -> ()
+  | _ -> Alcotest.fail "index");
+  match Parser.parse_expr "-x[0]" with
+  | Ast.Unop (Ast.Neg, Ast.Index (_, _)) -> ()
+  | _ -> Alcotest.fail "unary binds looser than postfix"
+
+let test_parse_statements () =
+  let p =
+    Parser.parse_program
+      "fn main() { var i = 0; for (i = 0; i < 10; i = i + 1) { continue; } \
+       while (1) { break; } if (i) { return 1; } else { return; } }"
+  in
+  match p.Ast.funcs with
+  | [ { Ast.body; _ } ] -> check_int "four statements" 4 (List.length body)
+  | _ -> Alcotest.fail "one function expected"
+
+let test_parse_else_if () =
+  let p = Parser.parse_program "fn main() { if (1) { } else if (2) { } else { } }" in
+  match p.Ast.funcs with
+  | [ { Ast.body = [ Ast.If (_, [], [ Ast.If (_, [], []) ]) ]; _ } ] -> ()
+  | _ -> Alcotest.fail "else-if chain shape"
+
+let test_parse_error_position () =
+  match Parser.parse_program "fn main() { var = 3; }" with
+  | exception Parser.Syntax_error (_, 1, _) -> ()
+  | _ -> Alcotest.fail "expected syntax error"
+
+let test_parse_bad_lvalue () =
+  match Parser.parse_program "fn main() { 1 + 2 = 3; }" with
+  | exception Parser.Syntax_error (msg, _, _) ->
+    check "mentions lvalue" true
+      (String.length msg > 0
+      && String.sub msg 0 (min 9 (String.length msg)) = "left-hand")
+  | _ -> Alcotest.fail "expected lvalue error"
+
+let test_pretty_roundtrip () =
+  let src =
+    "fn helper(a, b) { return a + b * 2; } fn main() { var p = malloc(64); \
+     p[0] = helper(1, 2); *(p + 8) = 'x'; if (p[0] > 3) { \
+     print_str(\"big\\n\"); } else { print_int(p[0]); } for (var i = 0; i < \
+     4; i = i + 1) { print_int(i); } free(p); return 0; }"
+  in
+  let ast1 = Parser.parse_program src in
+  let printed = Ast.to_string ast1 in
+  let ast2 = Parser.parse_program printed in
+  check "parse(print(parse src)) = parse src" true (ast1 = ast2)
+
+let test_string_literals_collected () =
+  let p = Parser.parse_program {|fn main() { print_str("a"); print_str("b"); print_str("a"); }|} in
+  Alcotest.(check (list string)) "deduplicated, in order" [ "a"; "b" ]
+    (Ast.string_literals p)
+
+(* --- interpreter: pure semantics --- *)
+
+let test_arithmetic () =
+  expect_output "fn main() { print_int(2 + 3 * 4 - 6 / 2); }" "11";
+  expect_output "fn main() { print_int(17 % 5); }" "2";
+  expect_output "fn main() { print_int(-7); }" "-7";
+  expect_output "fn main() { print_int(1 << 10); }" "1024";
+  (* odd shift amounts (regression: a mask bug once turned >>1 into >>0) *)
+  expect_output "fn main() { print_int(7 >> 1); print_int(1 << 3); print_int(-8 >> 1); }"
+    "38-4";
+  expect_output "fn main() { print_int(255 & 15); print_int(1 | 2); print_int(5 ^ 1); }"
+    "1534"
+
+let test_comparisons_and_logic () =
+  expect_output "fn main() { print_int(3 < 4); print_int(4 <= 4); print_int(5 > 6); }"
+    "110";
+  expect_output "fn main() { print_int(1 && 0); print_int(1 || 0); print_int(!3); }"
+    "010"
+
+let test_short_circuit () =
+  (* The right operand must not run when short-circuited: a diverging
+     call guarded by && would otherwise crash via unknown variable. *)
+  expect_output
+    "fn boom() { var x = *0; return x; } fn main() { print_int(0 && boom()); }" "0"
+
+let test_variables_and_scope () =
+  expect_output "fn main() { var x = 1; { var x = 2; print_int(x); } print_int(x); }"
+    "21";
+  expect_output "fn main() { var x = 1; x = x + 41; print_int(x); }" "42"
+
+let test_functions () =
+  expect_output
+    "fn add(a, b) { return a + b; } fn main() { print_int(add(40, 2)); }" "42";
+  expect_output
+    "fn fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); } \
+     fn main() { print_int(fib(10)); }"
+    "55";
+  expect_output "fn f() { return; } fn main() { print_int(f()); }" "0"
+
+let test_functions_do_not_see_caller_locals () =
+  (* Runtime_error deliberately escapes Process.run: it is a bug in the
+     MiniC source, not a simulated memory error. *)
+  match
+    run_freelist
+      "fn f() { return hidden; } fn main() { var hidden = 1; print_int(f()); }"
+  with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "callee saw caller's local"
+
+let test_loops () =
+  expect_output
+    "fn main() { var s = 0; for (var i = 1; i <= 10; i = i + 1) { s = s + i; } print_int(s); }"
+    "55";
+  expect_output
+    "fn main() { var i = 0; while (i < 3) { print_int(i); i = i + 1; } }" "012";
+  expect_output
+    "fn main() { for (var i = 0; i < 10; i = i + 1) { if (i == 3) { break; } print_int(i); } }"
+    "012";
+  expect_output
+    "fn main() { for (var i = 0; i < 5; i = i + 1) { if (i % 2) { continue; } print_int(i); } }"
+    "024"
+
+let test_exit_code () =
+  let r = run_freelist "fn main() { exit(7); print_int(1); }" in
+  check "exit code 7" true (r.Process.outcome = Process.Exited 7);
+  check_string "no output after exit" "" (output_of r);
+  let r = run_freelist "fn main() { return 3; }" in
+  check "nonzero main return" true (r.Process.outcome = Process.Exited 3)
+
+let test_strings_and_io () =
+  expect_output {|fn main() { print_str("hello\n"); print_char('!'); }|} "hello\n!";
+  expect_output ~input:"ab" "fn main() { print_int(getchar()); print_int(getchar()); print_int(getchar()); }"
+    "9798-1";
+  expect_output {|fn main() { print_int(strlen("hello")); }|} "5";
+  expect_output {|fn main() { print_int(strcmp("abc", "abc")); print_int(strcmp("a", "b") < 0); }|}
+    "01"
+
+let test_now_intercepted () =
+  let mem = Mem.create () in
+  let fl = Dh_alloc.Freelist.create mem in
+  let program = Interp.program_of_source ~name:"t" "fn main() { print_int(now()); }" in
+  let r = Program.run ~now:12345 program (Dh_alloc.Freelist.allocator fl) in
+  check_string "clock value" "12345" (output_of r)
+
+(* --- interpreter: heap behaviour --- *)
+
+let test_heap_roundtrip () =
+  expect_output
+    "fn main() { var p = malloc(64); p[0] = 42; p[1] = p[0] + 1; \
+     print_int(p[0]); print_int(p[1]); free(p); }"
+    "4243";
+  expect_output
+    "fn main() { var p = malloc(16); *p = 7; *(p + 8) = 8; print_int(*p + *(p+8)); }"
+    "15"
+
+let test_byte_access () =
+  expect_output
+    "fn main() { var p = malloc(8); store8(p, 65); store8(p + 1, 66); store8(p + 2, 0); print_str(p); }"
+    "AB"
+
+let test_calloc_zeroed () =
+  expect_output "fn main() { var p = calloc(64); print_int(p[0] + p[7]); }" "0"
+
+let test_strcpy_builtin () =
+  expect_output
+    {|fn main() { var p = malloc(32); strcpy(p, "copied"); print_str(p); }|} "copied"
+
+let test_gets_reads_line () =
+  expect_output ~input:"first\nsecond"
+    "fn main() { var p = malloc(64); gets(p); print_str(p); print_char('|'); gets(p); print_str(p); }"
+    "first|second"
+
+let test_malloc_failure_returns_null () =
+  (* Exhaust a tiny DieHard size class and observe NULL. *)
+  let r =
+    run_diehard
+      "fn main() { var n = 0; for (var i = 0; i < 100000; i = i + 1) { \
+       var p = malloc(16384); if (p == 0) { print_int(n); exit(0); } n = n + 1; } }"
+  in
+  check "exited" true (r.Process.outcome = Process.Exited 0);
+  (* 64KB region, 16KB objects, M=2: exactly 2 allocations fit *)
+  check_string "threshold hit after 2" "2" (output_of r)
+
+(* --- interpreter: memory errors behave like C --- *)
+
+let test_wild_write_crashes () =
+  let r = run_freelist "fn main() { *1234567899 = 1; }" in
+  match r.Process.outcome with
+  | Process.Crashed (Dh_mem.Fault.Unmapped _) -> ()
+  | o -> Alcotest.failf "expected crash, got %s" (Process.outcome_to_string o)
+
+let test_null_deref_crashes () =
+  let r = run_freelist "fn main() { print_int(*0); }" in
+  match r.Process.outcome with
+  | Process.Crashed _ -> ()
+  | o -> Alcotest.failf "expected crash, got %s" (Process.outcome_to_string o)
+
+let test_overflow_corrupts_neighbour_freelist () =
+  (* Two adjacent chunks under the freelist allocator: writing one word
+     past p lands in q's header/payload area. *)
+  let r =
+    run_freelist
+      "fn main() { var p = malloc(8); var q = malloc(8); q[0] = 111; \
+       p[3] = 222; print_int(q[0]); }"
+  in
+  (* p[3] = *(p+24); chunk is 32 bytes total: 8 header + 24 payload, so
+     p+24 is exactly q's header. q's data may or may not change, but the
+     program must keep running (silent corruption). *)
+  check "silent corruption, no crash" true (r.Process.outcome = Process.Exited 0)
+
+let test_uninitialized_read_stale_data () =
+  (* freelist: freed memory is recycled without clearing *)
+  let r =
+    run_freelist
+      "fn main() { var p = malloc(64); p[2] = 12345; free(p); \
+       var q = malloc(64); print_int(q[2]); }"
+  in
+  check_string "stale data visible" "12345" (output_of r)
+
+let test_fail_stop_policy_aborts_overflow () =
+  let r =
+    run_freelist ~policy_kind:Dh_alloc.Policy.Fail_stop
+      "fn main() { var p = malloc(24); p[3] = 1; }"
+  in
+  match r.Process.outcome with
+  | Process.Aborted _ -> ()
+  | o -> Alcotest.failf "expected abort, got %s" (Process.outcome_to_string o)
+
+let test_oblivious_policy_survives_overflow () =
+  let r =
+    run_freelist ~policy_kind:Dh_alloc.Policy.Oblivious
+      "fn main() { var p = malloc(24); p[5] = 1; print_str(\"alive\"); }"
+  in
+  check "continues" true (r.Process.outcome = Process.Exited 0);
+  check_string "output" "alive" (output_of r)
+
+let test_bounded_libc_stops_strcpy_overflow () =
+  (* Under DieHard with the §4.4 shims, strcpy into an 8-byte object
+     cannot write past it. *)
+  let src =
+    {|fn main() { var big = malloc(256); memset(big, 'A', 200); store8(big + 200, 0);
+       var small = malloc(8); strcpy(small, big); print_int(strlen(small)); }|}
+  in
+  let r = run_diehard ~libc:Interp.Bounded src in
+  check "no crash" true (r.Process.outcome = Process.Exited 0);
+  check_string "truncated to 7 chars + NUL" "7" (output_of r)
+
+let test_unchecked_libc_overflows () =
+  let src =
+    {|fn main() { var big = malloc(256); memset(big, 'A', 200); store8(big + 200, 0);
+       var small = malloc(8); strcpy(small, big); print_int(strlen(small)); }|}
+  in
+  let r = run_diehard ~libc:Interp.Unchecked src in
+  (* Under DieHard the overflow lands on free space: program survives and
+     the string is fully copied. *)
+  check "survives (randomized heap)" true (r.Process.outcome = Process.Exited 0);
+  check_string "whole string copied" "200" (output_of r)
+
+let test_runtime_errors () =
+  let expect_runtime_error src =
+    match run_freelist src with
+    | exception Interp.Runtime_error _ -> ()
+    | _ -> Alcotest.fail "expected Runtime_error"
+  in
+  expect_runtime_error "fn main() { print_int(nope); }";
+  expect_runtime_error "fn main() { nope(1); }";
+  expect_runtime_error "fn f(a) { return a; } fn main() { f(1, 2); }";
+  expect_runtime_error "fn main() { print_int(1 / 0); }";
+  expect_runtime_error "fn notmain() { }"
+
+let test_infinite_loop_times_out () =
+  let mem = Mem.create () in
+  let fl = Dh_alloc.Freelist.create mem in
+  let program = Interp.program_of_source ~name:"spin" "fn main() { while (1) { } }" in
+  let r = Program.run ~fuel:10_000 program (Dh_alloc.Freelist.allocator fl) in
+  check "timeout" true (r.Process.outcome = Process.Timeout)
+
+(* --- GC root integration --- *)
+
+let test_gc_roots_from_interpreter () =
+  (* A long-running loop that drops objects: under the GC allocator with
+     a small heap it must keep running because interpreter variables are
+     roots and dropped objects get collected. *)
+  let mem = Mem.create () in
+  let gc = Dh_alloc.Gc.create ~arena_size:16384 ~heap_limit:16384 mem in
+  let program =
+    Interp.program_of_source ~name:"churn"
+      "fn main() { var keep = malloc(64); keep[0] = 99; \
+       for (var i = 0; i < 500; i = i + 1) { var tmp = malloc(64); tmp[0] = i; } \
+       print_int(keep[0]); }"
+  in
+  let r = Program.run program (Dh_alloc.Gc.allocator gc) in
+  check "survived churn in a tiny heap" true (r.Process.outcome = Process.Exited 0);
+  check_string "rooted object intact" "99" (output_of r)
+
+(* --- qcheck: pretty-print / reparse roundtrip on generated ASTs --- *)
+
+let gen_expr =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then
+          oneof
+            [ map (fun i -> Ast.Int i) (int_bound 1000);
+              map (fun s -> Ast.Var ("v" ^ string_of_int s)) (int_bound 5) ]
+        else
+          frequency
+            [ (2, map (fun i -> Ast.Int i) (int_bound 1000));
+              (1, map2 (fun a b -> Ast.Binop (Ast.Add, a, b)) (self (n / 2)) (self (n / 2)));
+              (1, map2 (fun a b -> Ast.Binop (Ast.Mul, a, b)) (self (n / 2)) (self (n / 2)));
+              (1, map2 (fun a b -> Ast.Binop (Ast.Lt, a, b)) (self (n / 2)) (self (n / 2)));
+              (1, map (fun a -> Ast.Unop (Ast.Neg, a)) (self (n - 1)));
+              (1, map2 (fun a b -> Ast.Index (a, b)) (self (n / 2)) (self (n / 2)))
+            ]))
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~name:"pretty-printed expressions reparse to the same AST" ~count:200
+    (QCheck.make gen_expr)
+    (fun e ->
+      let program = { Ast.funcs = [ { Ast.name = "main"; params = []; body = [ Ast.Expr e ] } ] } in
+      let printed = Ast.to_string program in
+      match Parser.parse_program printed with
+      | { Ast.funcs = [ { Ast.body = [ Ast.Expr e' ]; _ } ] } -> e = e'
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "lex basics" `Quick test_lex_basics;
+    Alcotest.test_case "lex operators" `Quick test_lex_operators;
+    Alcotest.test_case "lex strings" `Quick test_lex_string_escapes;
+    Alcotest.test_case "lex comments" `Quick test_lex_comments;
+    Alcotest.test_case "lex positions" `Quick test_lex_positions;
+    Alcotest.test_case "lex errors" `Quick test_lex_error;
+    Alcotest.test_case "parse precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "parse unary/index" `Quick test_parse_unary_and_index;
+    Alcotest.test_case "parse statements" `Quick test_parse_statements;
+    Alcotest.test_case "parse else-if" `Quick test_parse_else_if;
+    Alcotest.test_case "parse error position" `Quick test_parse_error_position;
+    Alcotest.test_case "parse bad lvalue" `Quick test_parse_bad_lvalue;
+    Alcotest.test_case "pretty roundtrip" `Quick test_pretty_roundtrip;
+    Alcotest.test_case "string literal collection" `Quick test_string_literals_collected;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "comparisons/logic" `Quick test_comparisons_and_logic;
+    Alcotest.test_case "short circuit" `Quick test_short_circuit;
+    Alcotest.test_case "variables/scope" `Quick test_variables_and_scope;
+    Alcotest.test_case "functions" `Quick test_functions;
+    Alcotest.test_case "call scope isolation" `Quick test_functions_do_not_see_caller_locals;
+    Alcotest.test_case "loops" `Quick test_loops;
+    Alcotest.test_case "exit codes" `Quick test_exit_code;
+    Alcotest.test_case "strings and io" `Quick test_strings_and_io;
+    Alcotest.test_case "now intercepted" `Quick test_now_intercepted;
+    Alcotest.test_case "heap roundtrip" `Quick test_heap_roundtrip;
+    Alcotest.test_case "byte access" `Quick test_byte_access;
+    Alcotest.test_case "calloc" `Quick test_calloc_zeroed;
+    Alcotest.test_case "strcpy builtin" `Quick test_strcpy_builtin;
+    Alcotest.test_case "gets" `Quick test_gets_reads_line;
+    Alcotest.test_case "malloc failure -> NULL" `Quick test_malloc_failure_returns_null;
+    Alcotest.test_case "wild write crashes" `Quick test_wild_write_crashes;
+    Alcotest.test_case "null deref crashes" `Quick test_null_deref_crashes;
+    Alcotest.test_case "overflow silent corruption" `Quick test_overflow_corrupts_neighbour_freelist;
+    Alcotest.test_case "uninitialized stale read" `Quick test_uninitialized_read_stale_data;
+    Alcotest.test_case "fail-stop aborts" `Quick test_fail_stop_policy_aborts_overflow;
+    Alcotest.test_case "oblivious survives" `Quick test_oblivious_policy_survives_overflow;
+    Alcotest.test_case "bounded libc truncates" `Quick test_bounded_libc_stops_strcpy_overflow;
+    Alcotest.test_case "unchecked libc overflows" `Quick test_unchecked_libc_overflows;
+    Alcotest.test_case "runtime errors" `Quick test_runtime_errors;
+    Alcotest.test_case "infinite loop timeout" `Quick test_infinite_loop_times_out;
+    Alcotest.test_case "gc roots" `Quick test_gc_roots_from_interpreter;
+    QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+  ]

@@ -1,0 +1,226 @@
+(* Cross-cutting property tests: voter laws, statement-level
+   pretty-print/reparse round-trips, theorem monotonicity sweeps, and a
+   reduced in-suite version of the differential fuzzer. *)
+
+module Mem = Dh_mem.Mem
+module Allocator = Dh_alloc.Allocator
+open Diehard
+
+(* --- voter laws --- *)
+
+let gen_ballots =
+  (* up to 7 replicas voting over a small alphabet of chunks so that
+     agreements actually happen *)
+  QCheck.Gen.(
+    list_size (int_range 1 7)
+      (map (fun i -> Printf.sprintf "chunk%d" i) (int_bound 3)))
+
+let ballots_of chunks = List.mapi (fun i chunk -> { Voter.replica = i; chunk }) chunks
+
+let prop_voter_unanimous_iff_all_equal =
+  QCheck.Test.make ~name:"voter: Unanimous iff all ballots equal (or single)" ~count:500
+    (QCheck.make gen_ballots)
+    (fun chunks ->
+      let all_equal =
+        match chunks with [] -> true | c :: rest -> List.for_all (String.equal c) rest
+      in
+      match Voter.vote (ballots_of chunks) with
+      | Voter.Unanimous _ -> all_equal || List.length chunks = 1
+      | Voter.Majority _ | Voter.No_quorum -> not all_equal)
+
+let prop_voter_majority_has_two_supporters =
+  QCheck.Test.make ~name:"voter: a Majority winner has >= 2 supporters" ~count:500
+    (QCheck.make gen_ballots)
+    (fun chunks ->
+      match Voter.vote (ballots_of chunks) with
+      | Voter.Majority { chunk; losers } ->
+        let supporters = List.length (List.filter (String.equal chunk) chunks) in
+        supporters >= 2
+        && supporters + List.length losers = List.length chunks
+        && List.for_all
+             (fun rid -> not (String.equal (List.nth chunks rid) chunk))
+             losers
+      | Voter.Unanimous _ | Voter.No_quorum -> true)
+
+let prop_voter_no_quorum_means_no_pair =
+  QCheck.Test.make ~name:"voter: No_quorum iff no chunk has two supporters" ~count:500
+    (QCheck.make gen_ballots)
+    (fun chunks ->
+      let has_pair =
+        List.exists
+          (fun c -> List.length (List.filter (String.equal c) chunks) >= 2)
+          chunks
+      in
+      let all_equal =
+        match chunks with [] -> true | c :: rest -> List.for_all (String.equal c) rest
+      in
+      match Voter.vote (ballots_of chunks) with
+      | Voter.No_quorum -> (not has_pair) && List.length chunks > 1
+      | Voter.Majority _ -> has_pair && not all_equal
+      | Voter.Unanimous _ -> true)
+
+(* --- statement-level pretty/reparse round-trip --- *)
+
+let gen_small_expr =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> Dh_lang.Ast.Int i) (int_bound 100);
+        return (Dh_lang.Ast.Var "x");
+        map
+          (fun i -> Dh_lang.Ast.Binop (Dh_lang.Ast.Add, Dh_lang.Ast.Var "x", Dh_lang.Ast.Int i))
+          (int_bound 9);
+        map
+          (fun i -> Dh_lang.Ast.Index (Dh_lang.Ast.Var "x", Dh_lang.Ast.Int i))
+          (int_bound 3);
+        map (fun s -> Dh_lang.Ast.Str s) (oneofl [ "a"; "b\nc"; "q\"q" ]);
+      ])
+
+let gen_stmt =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [
+              map (fun e -> Dh_lang.Ast.Decl ("y", e)) gen_small_expr;
+              map (fun e -> Dh_lang.Ast.Assign (Dh_lang.Ast.Lvar "x", e)) gen_small_expr;
+              map
+                (fun e -> Dh_lang.Ast.Assign (Dh_lang.Ast.Lderef (Dh_lang.Ast.Var "x"), e))
+                gen_small_expr;
+              map (fun e -> Dh_lang.Ast.Expr e) gen_small_expr;
+              map (fun e -> Dh_lang.Ast.Return (Some e)) gen_small_expr;
+              return (Dh_lang.Ast.Return None);
+              return Dh_lang.Ast.Break;
+              return Dh_lang.Ast.Continue;
+            ]
+        in
+        if n <= 0 then leaf
+        else
+          frequency
+            [
+              (3, leaf);
+              ( 1,
+                map2
+                  (fun c body -> Dh_lang.Ast.While (c, body))
+                  gen_small_expr
+                  (list_size (int_bound 3) (self (n / 2))) );
+              ( 1,
+                map3
+                  (fun c t f -> Dh_lang.Ast.If (c, t, f))
+                  gen_small_expr
+                  (list_size (int_bound 3) (self (n / 2)))
+                  (list_size (int_bound 2) (self (n / 2))) );
+              ( 1,
+                map2
+                  (fun c body ->
+                    Dh_lang.Ast.For
+                      ( Some (Dh_lang.Ast.Decl ("i", Dh_lang.Ast.Int 0)),
+                        Some c,
+                        Some
+                          (Dh_lang.Ast.Assign
+                             ( Dh_lang.Ast.Lvar "i",
+                               Dh_lang.Ast.Binop
+                                 (Dh_lang.Ast.Add, Dh_lang.Ast.Var "i", Dh_lang.Ast.Int 1) )),
+                        body ))
+                  gen_small_expr
+                  (list_size (int_bound 3) (self (n / 2))) );
+            ]))
+
+let prop_stmt_roundtrip =
+  QCheck.Test.make ~name:"pretty-printed statements reparse to the same AST" ~count:300
+    (QCheck.make gen_stmt)
+    (fun s ->
+      let program =
+        { Dh_lang.Ast.funcs = [ { Dh_lang.Ast.name = "main"; params = []; body = [ s ] } ] }
+      in
+      match Dh_lang.Parser.parse_program (Dh_lang.Ast.to_string program) with
+      | { Dh_lang.Ast.funcs = [ { Dh_lang.Ast.body = [ s' ]; _ } ] } -> s = s'
+      | _ -> false)
+
+(* --- theorem monotonicity sweeps --- *)
+
+let prop_overflow_monotone_in_free_fraction =
+  QCheck.Test.make ~name:"T1: masking probability increases with free fraction" ~count:300
+    QCheck.(triple (float_bound_inclusive 0.98) (int_range 1 6) (int_range 1 4))
+    (fun (f, o, kidx) ->
+      let k = List.nth [ 1; 3; 4; 5 ] (kidx - 1) in
+      let p1 = Dh_analysis.Theorems.overflow_mask_probability ~free_fraction:f ~objects:o ~replicas:k in
+      let p2 =
+        Dh_analysis.Theorems.overflow_mask_probability ~free_fraction:(f +. 0.01)
+          ~objects:o ~replicas:k
+      in
+      p2 >= p1 -. 1e-12)
+
+let prop_dangling_monotone_in_allocations =
+  QCheck.Test.make ~name:"T2: masking probability decreases with A" ~count:300
+    QCheck.(pair (int_range 0 5000) (int_range 1 4))
+    (fun (a, kidx) ->
+      let k = List.nth [ 1; 3; 4; 5 ] (kidx - 1) in
+      let q = 10_000 in
+      let p1 = Dh_analysis.Theorems.dangling_mask_probability ~allocations:a ~free_slots:q ~replicas:k in
+      let p2 =
+        Dh_analysis.Theorems.dangling_mask_probability ~allocations:(a + 100)
+          ~free_slots:q ~replicas:k
+      in
+      p2 <= p1 +. 1e-12)
+
+let prop_uninit_detect_is_probability =
+  QCheck.Test.make ~name:"T3: always a probability in [0,1]" ~count:300
+    QCheck.(pair (int_range 0 64) (int_range 1 16))
+    (fun (bits, replicas) ->
+      let p = Dh_analysis.Theorems.uninit_detect_probability ~bits ~replicas in
+      p >= 0. && p <= 1.)
+
+(* --- reduced differential fuzz (the full binary is bin/fuzz.ml) --- *)
+
+let prop_allocators_agree =
+  QCheck.Test.make ~name:"differential: diehard and freelist compute identical sums"
+    ~count:25
+    QCheck.(pair small_int (list_of_size (QCheck.Gen.return 60) (pair (int_bound 2000) bool)))
+    (fun (seed, ops) ->
+      let run_on alloc =
+        let mem = alloc.Allocator.mem in
+        let live = ref [] in
+        let sum = ref 0 in
+        List.iteri
+          (fun i (sz, do_free) ->
+            if do_free && !live <> [] then begin
+              match !live with
+              | (p, n, written) :: rest ->
+                (* only read back memory the workload itself wrote *)
+                if written then sum := (!sum + Mem.read64 mem p) land max_int;
+                sum := (!sum + n) land max_int;
+                alloc.Allocator.free p;
+                live := rest
+              | [] -> ()
+            end
+            else
+              match alloc.Allocator.malloc (1 + sz) with
+              | Some p ->
+                let written = 1 + sz >= 8 in
+                if written then Mem.write64 mem p (i * 31);
+                live := (p, i, written) :: !live
+              | None -> ())
+          ops;
+        List.iter (fun (p, _, _) -> alloc.Allocator.free p) !live;
+        !sum
+      in
+      let freelist = Dh_alloc.Freelist.allocator (Dh_alloc.Freelist.create (Mem.create ())) in
+      let mem = Mem.create () in
+      let dh =
+        Heap.allocator
+          (Heap.create ~config:(Config.v ~heap_size:(24 lsl 20) ~seed:(seed + 1) ()) mem)
+      in
+      run_on freelist = run_on dh)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_voter_unanimous_iff_all_equal;
+    QCheck_alcotest.to_alcotest prop_voter_majority_has_two_supporters;
+    QCheck_alcotest.to_alcotest prop_voter_no_quorum_means_no_pair;
+    QCheck_alcotest.to_alcotest prop_stmt_roundtrip;
+    QCheck_alcotest.to_alcotest prop_overflow_monotone_in_free_fraction;
+    QCheck_alcotest.to_alcotest prop_dangling_monotone_in_allocations;
+    QCheck_alcotest.to_alcotest prop_uninit_detect_is_probability;
+    QCheck_alcotest.to_alcotest prop_allocators_agree;
+  ]

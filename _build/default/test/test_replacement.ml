@@ -1,0 +1,123 @@
+(* Tests for §5.2's replica replacement: "we could replace failed
+   replicas with a copy of one of the 'good' replicas with its random
+   number generation seed set to a different value." *)
+
+module Mem = Dh_mem.Mem
+module Process = Dh_mem.Process
+module Allocator = Dh_alloc.Allocator
+module Program = Dh_alloc.Program
+module Replicated = Diehard.Replicated
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let config = Diehard.Config.v ~heap_size:(12 * 256 * 1024) ()
+
+(* Crashes in replicas whose heap garbage has the low bit set — i.e. in
+   roughly half of all seeds. *)
+let flaky =
+  Program.make ~name:"flaky" (fun ctx ->
+      let a = ctx.Program.alloc in
+      let p = Allocator.malloc_exn a 8 in
+      let garbage = Mem.read64 a.Allocator.mem p in
+      if garbage land 1 = 1 then ignore (Mem.read8 a.Allocator.mem 0);
+      Process.Out.print_string ctx.Program.out "steady")
+
+let well_behaved =
+  Program.make ~name:"steady" (fun ctx ->
+      Process.Out.print_string ctx.Program.out "fine")
+
+let count_replacements report =
+  List.length
+    (List.filter (fun r -> r.Replicated.id >= 3) report.Replicated.replicas)
+
+let test_no_replacement_by_default () =
+  let report = Replicated.run ~config ~replicas:3 flaky in
+  check_int "exactly the original replicas" 3 (List.length report.Replicated.replicas)
+
+let test_replacement_spawned_on_death () =
+  (* Find a pool where at least one of the first three replicas crashes;
+     with the replacement budget, a fresh replica must appear. *)
+  let rec hunt master =
+    if master > 60 then Alcotest.fail "no crashing pool found"
+    else begin
+      let probe =
+        Replicated.run ~config ~replicas:3
+          ~seed_pool:(Dh_rng.Seed.create ~master)
+          flaky
+      in
+      let crashed =
+        List.exists
+          (fun r ->
+            match r.Replicated.outcome with Process.Crashed _ -> true | _ -> false)
+          probe.Replicated.replicas
+      in
+      if crashed then master else hunt (master + 1)
+    end
+  in
+  let master = hunt 1 in
+  let report =
+    Replicated.run ~config ~replicas:3
+      ~seed_pool:(Dh_rng.Seed.create ~master)
+      ~replace_failed:3 flaky
+  in
+  check "replacements were spawned" true (count_replacements report > 0);
+  check "verdict still agreed" true (report.Replicated.verdict = Replicated.Agreed);
+  Alcotest.(check string) "output intact" "steady" report.Replicated.output
+
+let test_replacement_budget_respected () =
+  let always_crashes =
+    Program.make ~name:"crash" (fun ctx ->
+        ignore (Mem.read8 ctx.Program.alloc.Allocator.mem 0))
+  in
+  let report =
+    Replicated.run ~config ~replicas:3 ~replace_failed:2 always_crashes
+  in
+  (* 3 originals + at most 2 replacements, all crashed *)
+  check_int "exactly five replicas total" 5 (List.length report.Replicated.replicas);
+  check "all died" true (report.Replicated.verdict = Replicated.All_died)
+
+let test_replacement_must_agree_with_prefix () =
+  (* A replacement whose output diverges from the committed prefix must
+     not join.  Uninit-dependent output makes every replica's output
+     unique, so any replacement disagrees with whatever was committed —
+     but with unique outputs there is no quorum in the first place, so
+     instead test with a crashing majority-able program: committed
+     prefix "steady", replacement either crashes (excluded) or prints
+     "steady" (agrees).  Either way the protocol must terminate and
+     commit "steady". *)
+  let report =
+    Replicated.run ~config ~replicas:5
+      ~seed_pool:(Dh_rng.Seed.create ~master:4)
+      ~replace_failed:5 flaky
+  in
+  check "terminates with agreement or death" true
+    (match report.Replicated.verdict with
+    | Replicated.Agreed | Replicated.All_died -> true
+    | Replicated.Uninit_read_detected | Replicated.No_quorum -> false);
+  if report.Replicated.verdict = Replicated.Agreed then
+    Alcotest.(check string) "committed output" "steady" report.Replicated.output
+
+let test_replacement_ids_distinct () =
+  let report =
+    Replicated.run ~config ~replicas:3 ~replace_failed:3
+      ~seed_pool:(Dh_rng.Seed.create ~master:2)
+      flaky
+  in
+  let ids = List.map (fun r -> r.Replicated.id) report.Replicated.replicas in
+  check_int "ids unique" (List.length ids) (List.length (List.sort_uniq compare ids))
+
+let test_well_behaved_unaffected () =
+  let report = Replicated.run ~config ~replicas:3 ~replace_failed:3 well_behaved in
+  check_int "no replacements needed" 3 (List.length report.Replicated.replicas);
+  Alcotest.(check string) "output" "fine" report.Replicated.output
+
+let suite =
+  [
+    Alcotest.test_case "off by default" `Quick test_no_replacement_by_default;
+    Alcotest.test_case "spawned on death" `Quick test_replacement_spawned_on_death;
+    Alcotest.test_case "budget respected" `Quick test_replacement_budget_respected;
+    Alcotest.test_case "prefix agreement" `Quick test_replacement_must_agree_with_prefix;
+    Alcotest.test_case "distinct ids" `Quick test_replacement_ids_distinct;
+    Alcotest.test_case "no-op when healthy" `Quick test_well_behaved_unaffected;
+  ]

@@ -1,0 +1,212 @@
+(* Tests for the synthetic workloads and the two MiniC applications:
+   profile/driver determinism and allocator-independence, the espresso-sim
+   fault-injection story, and the Squid case study (§7.3). *)
+
+module Mem = Dh_mem.Mem
+module Process = Dh_mem.Process
+module Allocator = Dh_alloc.Allocator
+module Program = Dh_alloc.Program
+open Dh_workload
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let fresh_freelist ?variant () =
+  let mem = Mem.create () in
+  Dh_alloc.Freelist.allocator (Dh_alloc.Freelist.create ?variant mem)
+
+let fresh_gc () =
+  let mem = Mem.create () in
+  Dh_alloc.Gc.allocator (Dh_alloc.Gc.create mem)
+
+let fresh_diehard ?(seed = 1) ?(heap = 12 * 1024 * 1024) () =
+  let mem = Mem.create () in
+  let config = Diehard.Config.v ~heap_size:heap ~seed () in
+  Diehard.Heap.allocator (Diehard.Heap.create ~config mem)
+
+(* --- profiles --- *)
+
+let test_profiles_complete () =
+  check_int "five alloc-intensive" 5 (List.length Profile.alloc_intensive);
+  check_int "twelve SPEC" 12 (List.length Profile.spec);
+  check "lookup works" true (Profile.find "espresso" <> None);
+  check "SPEC lookup" true (Profile.find "300.twolf" <> None);
+  check "unknown is None" true (Profile.find "nonesuch" = None)
+
+let test_profile_weights_positive () =
+  List.iter
+    (fun p ->
+      check (p.Profile.name ^ " ops positive") true (p.Profile.ops > 0);
+      Array.iter
+        (fun (size, w) ->
+          check (p.Profile.name ^ " sizes sane") true (size > 0 && w >= 0.))
+        p.Profile.sizes;
+      check
+        (p.Profile.name ^ " lifetime sane")
+        true
+        (p.Profile.lifetime_mean >= 1.))
+    Profile.all
+
+let test_scale () =
+  match Profile.find "cfrac" with
+  | Some p ->
+    let half = Profile.scale p ~factor:0.5 in
+    check_int "halved" (p.Profile.ops / 2) half.Profile.ops
+  | None -> Alcotest.fail "cfrac missing"
+
+(* --- driver --- *)
+
+let tiny =
+  {
+    Profile.name = "tiny";
+    suite = Profile.Alloc_intensive;
+    ops = 3_000;
+    sizes = [| (16, 0.5); (64, 0.3); (256, 0.2) |];
+    lifetime_mean = 20.;
+    touch_fraction = 1.0;
+    compute_per_op = 5;
+    large_rate = 0.01;
+  }
+
+let test_driver_deterministic () =
+  let r1 = Driver.run ~seed:7 tiny (fresh_freelist ()) in
+  let r2 = Driver.run ~seed:7 tiny (fresh_freelist ()) in
+  check_int "same checksum" r1.Driver.checksum r2.Driver.checksum;
+  let r3 = Driver.run ~seed:8 tiny (fresh_freelist ()) in
+  check "different seed differs" true (r3.Driver.checksum <> r1.Driver.checksum)
+
+let test_driver_checksum_allocator_independent () =
+  (* A correct workload must compute the same result whatever the memory
+     manager — the replicated-execution premise. *)
+  let expected = (Driver.run ~seed:3 tiny (fresh_freelist ())).Driver.checksum in
+  List.iter
+    (fun (name, alloc) ->
+      let r = Driver.run ~seed:3 tiny alloc in
+      check_int (name ^ " checksum matches") expected r.Driver.checksum;
+      check_int (name ^ " no failed allocations") 0 r.Driver.failed_allocations)
+    [
+      ("freelist-win", fresh_freelist ~variant:Dh_alloc.Freelist.Windows ());
+      ("gc", fresh_gc ());
+      ("diehard", fresh_diehard ());
+      ("diehard(seed 9)", fresh_diehard ~seed:9 ());
+    ]
+
+let test_driver_frees_everything () =
+  let alloc = fresh_freelist () in
+  let _ = Driver.run tiny alloc in
+  check_int "no live objects at the end" 0
+    alloc.Allocator.stats.Dh_alloc.Stats.live_objects
+
+let test_driver_peak_live_tracks_lifetime () =
+  let alloc = fresh_freelist () in
+  let r = Driver.run tiny alloc in
+  (* Little's law: live ≈ lifetime_mean; allow generous slack. *)
+  check
+    (Printf.sprintf "peak live %d sane" r.Driver.peak_live)
+    true
+    (r.Driver.peak_live > 5 && r.Driver.peak_live < 500)
+
+let test_heap_size_for_serves_profiles () =
+  List.iter
+    (fun p ->
+      let p = Profile.scale p ~factor:0.1 in
+      let alloc = fresh_diehard ~heap:(Driver.heap_size_for p) () in
+      let r = Driver.run p alloc in
+      check (p.Profile.name ^ " fits its sized heap") true
+        (r.Driver.failed_allocations = 0))
+    Profile.alloc_intensive
+
+(* --- espresso-sim --- *)
+
+let test_espresso_parses_and_runs () =
+  let r = Program.run (Apps.espresso ()) (fresh_freelist ()) in
+  check "exits cleanly" true (r.Process.outcome = Process.Exited 0);
+  (* deterministic output: rounds + final checksum *)
+  let parts = String.split_on_char '#' r.Process.output in
+  check_int "checksum marker present" 2 (List.length parts)
+
+let test_espresso_output_allocator_independent () =
+  let reference = (Program.run (Apps.espresso ()) (fresh_freelist ())).Process.output in
+  List.iter
+    (fun (name, alloc) ->
+      let r = Program.run (Apps.espresso ()) alloc in
+      check (name ^ " exits") true (r.Process.outcome = Process.Exited 0);
+      Alcotest.(check string) (name ^ " output") reference r.Process.output)
+    [ ("gc", fresh_gc ()); ("diehard", fresh_diehard ()) ]
+
+let test_espresso_allocation_volume () =
+  let alloc = fresh_freelist () in
+  let tracer, traced = Dh_alloc.Trace.wrap alloc in
+  let r = Program.run (Apps.espresso ()) traced in
+  check "ran" true (r.Process.outcome = Process.Exited 0);
+  check "well over 1000 allocations" true (Dh_alloc.Trace.allocation_count tracer > 1_000);
+  check "hundreds of lifetimes logged" true
+    (List.length (Dh_alloc.Trace.lifetimes tracer) > 500)
+
+(* --- squid-sim (§7.3 Real Faults) --- *)
+
+let run_squid alloc input = Program.run ~input (Apps.squid ()) alloc
+
+let test_squid_well_formed_everywhere () =
+  let input = Apps.squid_good_input ~requests:20 in
+  let reference = run_squid (fresh_freelist ()) input in
+  check "freelist serves" true (reference.Process.outcome = Process.Exited 0);
+  check "served all" true
+    (String.length reference.Process.output > 0
+    && String.sub reference.Process.output
+         (String.length reference.Process.output - 10)
+         9
+       = "served=20");
+  List.iter
+    (fun (name, alloc) ->
+      let r = run_squid alloc input in
+      check (name ^ " exits") true (r.Process.outcome = Process.Exited 0);
+      Alcotest.(check string) (name ^ " output") reference.Process.output r.Process.output)
+    [ ("gc", fresh_gc ()); ("diehard", fresh_diehard ()) ]
+
+let test_squid_attack_crashes_freelist () =
+  let r = run_squid (fresh_freelist ()) (Apps.squid_attack_input ~requests:20) in
+  match r.Process.outcome with
+  | Process.Crashed _ -> ()
+  | o -> Alcotest.failf "expected crash under freelist, got %s" (Process.outcome_to_string o)
+
+let test_squid_attack_crashes_gc () =
+  let r = run_squid (fresh_gc ()) (Apps.squid_attack_input ~requests:20) in
+  match r.Process.outcome with
+  | Process.Crashed _ -> ()
+  | o -> Alcotest.failf "expected crash under GC, got %s" (Process.outcome_to_string o)
+
+let test_squid_attack_survives_diehard () =
+  (* "Using DieHard in stand-alone mode, the overflow has no effect."
+     Check across several seeds: the server keeps serving every request
+     including those after the attack. *)
+  for seed = 1 to 5 do
+    let r = run_squid (fresh_diehard ~seed ()) (Apps.squid_attack_input ~requests:20) in
+    check
+      (Printf.sprintf "diehard seed %d survives" seed)
+      true
+      (r.Process.outcome = Process.Exited 0);
+    check "all 20 served" true
+      (String.sub r.Process.output (String.length r.Process.output - 10) 9 = "served=20")
+  done
+
+let suite =
+  [
+    Alcotest.test_case "profiles complete" `Quick test_profiles_complete;
+    Alcotest.test_case "profile parameters sane" `Quick test_profile_weights_positive;
+    Alcotest.test_case "profile scaling" `Quick test_scale;
+    Alcotest.test_case "driver deterministic" `Quick test_driver_deterministic;
+    Alcotest.test_case "driver allocator-independent" `Quick
+      test_driver_checksum_allocator_independent;
+    Alcotest.test_case "driver frees all" `Quick test_driver_frees_everything;
+    Alcotest.test_case "driver peak live" `Quick test_driver_peak_live_tracks_lifetime;
+    Alcotest.test_case "heap sizing" `Quick test_heap_size_for_serves_profiles;
+    Alcotest.test_case "espresso runs" `Quick test_espresso_parses_and_runs;
+    Alcotest.test_case "espresso allocator-independent" `Quick
+      test_espresso_output_allocator_independent;
+    Alcotest.test_case "espresso allocation volume" `Quick test_espresso_allocation_volume;
+    Alcotest.test_case "squid well-formed" `Quick test_squid_well_formed_everywhere;
+    Alcotest.test_case "squid attack: freelist crashes" `Quick test_squid_attack_crashes_freelist;
+    Alcotest.test_case "squid attack: GC crashes" `Quick test_squid_attack_crashes_gc;
+    Alcotest.test_case "squid attack: DieHard survives" `Quick test_squid_attack_survives_diehard;
+  ]
