@@ -1,6 +1,6 @@
 # Convenience targets for the DieHard reproduction.
 
-.PHONY: all build test bench bench-quick fuzz examples clean
+.PHONY: all build test bench bench-quick fuzz examples check clean
 
 all: build
 
@@ -26,6 +26,14 @@ examples:
 	dune exec examples/replicated_voting.exe
 	dune exec examples/minic_tour.exe
 	dune exec examples/heap_debugging.exe
+	dune exec examples/supervised_run.exe
+
+# Everything CI runs: full build, full test suite, and a smoke run of
+# the survival supervisor end to end.
+check:
+	dune build @all
+	dune runtest --force
+	dune exec bin/diehard_cli.exe -- survive cfrac --retries 1
 
 clean:
 	dune clean

@@ -15,10 +15,9 @@ module Injector = Dh_fault.Injector
 let campaign ~label ~spec ~trials =
   Report.subheading label;
   let run_on name make_alloc =
-    let tally =
-      Campaign.run ~trials ~spec ~make_alloc (Dh_workload.Apps.espresso ())
-    in
-    [ name; Format.asprintf "%a" Campaign.pp_tally tally ]
+    match Campaign.run ~trials ~spec ~make_alloc (Dh_workload.Apps.espresso ()) with
+    | Ok tally -> [ name; Format.asprintf "%a" Campaign.pp_tally tally ]
+    | Error e -> [ name; "skipped: " ^ Campaign.error_to_string e ]
   in
   let rows =
     [

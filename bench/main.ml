@@ -24,6 +24,7 @@ let experiments ~quick =
     ("micro", fun () -> Fig5.microbench ());
     ("table1", fun () -> Table1.run ~quick ());
     ("inject", fun () -> Inject.run ~quick ());
+    ("survivor", fun () -> Survivor.run ~quick ());
     ("squid", fun () -> Squid_bench.run ~quick ());
     ("replicas", fun () -> Replicas.run ~quick ());
     ("probes", fun () -> Probes.run ~quick ());

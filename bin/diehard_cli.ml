@@ -184,20 +184,83 @@ let inject_cmd =
       | `Dangling -> Dh_fault.Injector.paper_dangling
       | `Overflow -> Dh_fault.Injector.paper_overflow
     in
-    let tally =
+    match
       Dh_fault.Campaign.run ~input:(read_input input) ~fuel ~trials ~spec
         ~make_alloc:(fun ~trial ->
           make_allocator alloc_kind ~seed:(seed + trial) ~heap_size)
         program
-    in
-    Format.printf "%a@." Dh_fault.Campaign.pp_tally tally;
-    exit (if tally.Dh_fault.Campaign.correct = trials then 0 else 1)
+    with
+    | Ok tally ->
+      Format.printf "%a@." Dh_fault.Campaign.pp_tally tally;
+      exit (if tally.Dh_fault.Campaign.correct = trials then 0 else 1)
+    | Error e ->
+      Printf.eprintf "campaign aborted: %s\n" (Dh_fault.Campaign.error_to_string e);
+      exit 2
   in
   let doc = "Run the \u{00a7}7.3.1 fault-injection campaign against a program." in
   Cmd.v (Cmd.info "inject" ~doc)
     Term.(
       const action $ prog_arg $ mode_arg $ trials_arg $ allocator_arg $ seed_arg
       $ heap_arg $ input_arg $ fuel_arg)
+
+(* --- survive --- *)
+
+let retries_arg =
+  let doc = "Randomized retries (fresh seed, expanded heap) after the first attempt." in
+  Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N" ~doc)
+
+let backoff_arg =
+  let doc = "Heap-expansion factor applied to M and the heap size on each retry." in
+  Arg.(value & opt int 2 & info [ "backoff" ] ~docv:"B" ~doc)
+
+let no_rescue_arg =
+  let doc = "Do not degrade to the rescue allocator when retries are exhausted." in
+  Arg.(value & flag & info [ "no-rescue" ] ~doc)
+
+let no_diagnose_arg =
+  let doc = "Skip the canary-instrumented diagnosis replay of the first failure." in
+  Arg.(value & flag & info [ "no-diagnose" ] ~doc)
+
+let survive_cmd =
+  let action prog retries backoff no_rescue no_diagnose policy_kind seed heap_size
+      input fuel =
+    let source = load_source prog in
+    let program = Dh_lang.Interp.program_of_source ~name:prog source in
+    let policy =
+      {
+        Diehard.Supervisor.max_retries = retries;
+        backoff;
+        rescue = not no_rescue;
+        diagnose = not no_diagnose;
+        fuel;
+      }
+    in
+    let incident =
+      Diehard.Supervisor.run ~policy
+        ~config:(Diehard.Config.v ~heap_size ())
+        ~seed_pool:(Dh_rng.Seed.create ~master:seed)
+        ~input:(read_input input) ~policy_kind program
+    in
+    (match incident.Diehard.Supervisor.output with
+    | Some out ->
+      print_string out;
+      if out <> "" && not (String.ends_with ~suffix:"\n" out) then print_newline ()
+    | None -> ());
+    Format.eprintf "%a@?" Diehard.Supervisor.pp_incident incident;
+    exit
+      (match incident.Diehard.Supervisor.verdict with
+      | Diehard.Supervisor.Survived _ -> 0
+      | Diehard.Supervisor.Gave_up -> 1)
+  in
+  let doc =
+    "Run a program under the survival supervisor: retry crashes with fresh seeds and \
+     an expanding heap, degrade to the rescue allocator, and diagnose the fault with \
+     canaries."
+  in
+  Cmd.v (Cmd.info "survive" ~doc)
+    Term.(
+      const action $ prog_arg $ retries_arg $ backoff_arg $ no_rescue_arg
+      $ no_diagnose_arg $ policy_arg $ seed_arg $ heap_arg $ input_arg $ fuel_arg)
 
 (* --- check --- *)
 
@@ -277,6 +340,6 @@ let main_cmd =
   let doc = "DieHard (PLDI 2006) reproduction: probabilistic memory safety, simulated" in
   let info = Cmd.info "diehard" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ run_cmd; replicate_cmd; inject_cmd; check_cmd; diagnose_cmd; trace_cmd ]
+    [ run_cmd; replicate_cmd; survive_cmd; inject_cmd; check_cmd; diagnose_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -20,11 +20,11 @@ let experiment ~name ~spec =
   Printf.printf "=== %s ===\n" name;
   List.iter
     (fun (alloc_name, make_alloc) ->
-      let tally =
-        Campaign.run ~trials:10 ~spec ~make_alloc (Dh_workload.Apps.espresso ())
-      in
-      Printf.printf "  %-16s %s\n" alloc_name
-        (Format.asprintf "%a" Campaign.pp_tally tally))
+      match Campaign.run ~trials:10 ~spec ~make_alloc (Dh_workload.Apps.espresso ()) with
+      | Ok tally ->
+        Printf.printf "  %-16s %s\n" alloc_name
+          (Format.asprintf "%a" Campaign.pp_tally tally)
+      | Error e -> Printf.printf "  %-16s skipped: %s\n" alloc_name (Campaign.error_to_string e))
     [ ("default malloc", freelist); ("DieHard", diehard) ];
   print_newline ()
 

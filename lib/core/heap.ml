@@ -131,16 +131,21 @@ let malloc t sz =
     | Some class_ -> malloc_small t sz class_
     | None -> malloc_large t sz
 
+(* Hot path: every free/find_object lands here.  Early-exit scan over the
+   twelve regions (the old version always walked all of them). *)
 let region_containing t addr =
-  let found = ref None in
-  Array.iter
-    (fun region ->
+  let n = Array.length t.regions in
+  let rec go i =
+    if i >= n then None
+    else
+      let region = t.regions.(i) in
       if
-        !found = None && region.base <> 0 && addr >= region.base
-        && addr < region.base + (region.capacity * Size_class.size region.class_)
-      then found := Some region)
-    t.regions;
-  !found
+        region.base <> 0 && addr >= region.base
+        && addr - region.base < region.capacity * Size_class.size region.class_
+      then Some region
+      else go (i + 1)
+  in
+  go 0
 
 let free t addr =
   if addr = Allocator.null then ()

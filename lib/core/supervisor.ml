@@ -1,0 +1,199 @@
+module Process = Dh_mem.Process
+module Program = Dh_alloc.Program
+module Policy = Dh_alloc.Policy
+module Canary = Dh_alloc.Canary
+module Seed = Dh_rng.Seed
+
+type policy = {
+  max_retries : int;
+  backoff : int;
+  rescue : bool;
+  diagnose : bool;
+  fuel : int;
+}
+
+let default_policy =
+  { max_retries = 3; backoff = 2; rescue = true; diagnose = true; fuel = 50_000_000 }
+
+type mode = Randomized | Rescue
+
+type plan = {
+  attempt : int;
+  seed : int;
+  multiplier : int;
+  heap_size : int;
+  mode : mode;
+}
+
+type attempt_report = {
+  plan : plan;
+  outcome : Process.outcome;
+  ok : bool;
+  fuel_burned : int;
+}
+
+type verdict = Survived of int | Gave_up
+
+type incident = {
+  program : string;
+  verdict : verdict;
+  attempts : attempt_report list;
+  diagnosis : Canary.diagnosis option;
+  canary_violations : Canary.violation list;
+  output : string option;
+  total_fuel : int;
+}
+
+(* Growth ceilings: the ladder expands the heap exponentially, so a long
+   retry budget must not ask the simulated address space for the moon. *)
+let max_multiplier = 64
+let max_heap = 512 lsl 20
+
+let pow base n =
+  let rec go acc n = if n <= 0 then acc else go (acc * base) (n - 1) in
+  go 1 n
+
+let plan_for ~(config : Config.t) ~backoff ~seed ~mode attempt =
+  let growth = pow backoff attempt in
+  {
+    attempt;
+    seed;
+    multiplier = min (config.Config.multiplier * growth) max_multiplier;
+    heap_size = min (config.Config.heap_size * growth) max_heap;
+    mode;
+  }
+
+let build_alloc plan =
+  let mem = Dh_mem.Mem.create () in
+  let config =
+    Config.v ~multiplier:plan.multiplier ~heap_size:plan.heap_size ~seed:plan.seed ()
+  in
+  let base = Heap.allocator (Heap.create ~config mem) in
+  match plan.mode with
+  | Randomized -> base
+  | Rescue -> Dh_alloc.Rescue.wrap base
+
+(* Like {!Program.run}, but with our own fuel cell so the incident can
+   charge each attempt for the steps it actually burned. *)
+let execute ~policy_kind ~input ~now ~fuel program alloc =
+  let cell = Process.Fuel.create ~budget:fuel in
+  let result =
+    Process.run (fun out ->
+        let context =
+          {
+            Program.alloc;
+            policy = Policy.make ~kind:policy_kind alloc;
+            input;
+            out;
+            now;
+            fuel = cell;
+          }
+        in
+        program.Program.main context)
+  in
+  let burned =
+    match Process.Fuel.remaining cell with Some left -> fuel - left | None -> 0
+  in
+  (result, burned)
+
+let run ?(policy = default_policy) ?(config = Config.default)
+    ?(seed_pool = Seed.create ~master:config.Config.seed) ?(input = "") ?(now = 0)
+    ?(policy_kind = Policy.Raw) ?(success = fun r -> r.Process.outcome = Process.Exited 0)
+    ?(wrap = fun _plan alloc -> alloc) program =
+  if policy.max_retries < 0 then invalid_arg "Supervisor: max_retries must be >= 0";
+  if policy.backoff < 1 then invalid_arg "Supervisor: backoff must be >= 1";
+  let attempt_under plan =
+    let alloc = wrap plan (build_alloc plan) in
+    let result, fuel_burned =
+      execute ~policy_kind ~input ~now ~fuel:policy.fuel program alloc
+    in
+    let ok = success result in
+    ({ plan; outcome = result.Process.outcome; ok; fuel_burned }, result)
+  in
+  (* Replay the failed attempt — same seed, same heap shape, same wrap —
+     under canary instrumentation, purely to classify the fault. *)
+  let diagnose_replay plan (failed : attempt_report) =
+    let plan = { plan with mode = Randomized } in
+    let mem = Dh_mem.Mem.create () in
+    let cfg =
+      Config.v ~multiplier:plan.multiplier ~heap_size:plan.heap_size ~seed:plan.seed ()
+    in
+    let canary, instrumented = Canary.wrap (Heap.allocator (Heap.create ~config:cfg mem)) in
+    let result, fuel_burned =
+      execute ~policy_kind ~input ~now ~fuel:policy.fuel program (wrap plan instrumented)
+    in
+    Canary.sweep canary;
+    let fault =
+      match (result.Process.outcome, failed.outcome) with
+      | Process.Crashed f, _ -> Some f
+      | _, Process.Crashed f -> Some f
+      | _ -> None
+    in
+    (Canary.diagnose ?fault canary, Canary.violations canary, fuel_burned)
+  in
+  let rec ladder attempt acc =
+    let mode = if attempt <= policy.max_retries then Randomized else Rescue in
+    let plan =
+      plan_for ~config ~backoff:policy.backoff ~seed:(Seed.fresh seed_pool) ~mode attempt
+    in
+    let report, result = attempt_under plan in
+    let acc = report :: acc in
+    if report.ok then (List.rev acc, Survived attempt, Some result.Process.output)
+    else if mode = Rescue || ((not policy.rescue) && attempt >= policy.max_retries)
+    then (List.rev acc, Gave_up, None)
+    else ladder (attempt + 1) acc
+  in
+  let attempts, verdict, output = ladder 0 [] in
+  let diagnosis, canary_violations, diag_fuel =
+    match (attempts, policy.diagnose) with
+    | first :: _, true when not first.ok ->
+      let d, v, f = diagnose_replay first.plan first in
+      (Some d, v, f)
+    | _ -> (None, [], 0)
+  in
+  {
+    program = program.Program.name;
+    verdict;
+    attempts;
+    diagnosis;
+    canary_violations;
+    output;
+    total_fuel = List.fold_left (fun acc a -> acc + a.fuel_burned) diag_fuel attempts;
+  }
+
+(* --- reporting --- *)
+
+let pp_verdict ppf = function
+  | Survived 0 -> Format.pp_print_string ppf "survived (first try)"
+  | Survived n -> Format.fprintf ppf "survived (attempt %d)" n
+  | Gave_up -> Format.pp_print_string ppf "gave up"
+
+let heap_to_string bytes =
+  if bytes >= 1 lsl 20 && bytes mod (1 lsl 20) = 0 then
+    Printf.sprintf "%dMiB" (bytes lsr 20)
+  else Printf.sprintf "%dKiB" (bytes asr 10)
+
+let pp_incident ppf i =
+  Format.fprintf ppf "incident: %s — %a, %d attempt%s, %d steps burned@." i.program
+    pp_verdict i.verdict (List.length i.attempts)
+    (if List.length i.attempts = 1 then "" else "s")
+    i.total_fuel;
+  List.iter
+    (fun a ->
+      Format.fprintf ppf "  attempt %d: %-7s seed=%-11d M=%-3d heap=%-7s -> %a  [fuel %d]@."
+        a.plan.attempt
+        (match a.plan.mode with Randomized -> "diehard" | Rescue -> "rescue")
+        a.plan.seed a.plan.multiplier
+        (heap_to_string a.plan.heap_size)
+        Process.pp_outcome a.outcome a.fuel_burned)
+    i.attempts;
+  (match i.diagnosis with
+  | None -> ()
+  | Some d ->
+    Format.fprintf ppf "  diagnosis: %s (%d canary violation%s)@."
+      (Canary.diagnosis_to_string d)
+      (List.length i.canary_violations)
+      (if List.length i.canary_violations = 1 then "" else "s");
+    List.iter
+      (fun v -> Format.fprintf ppf "    %a@." Canary.pp_violation v)
+      i.canary_violations)

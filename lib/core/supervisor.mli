@@ -1,0 +1,109 @@
+(** Survival supervisor: retry-with-reseed, canary diagnosis, and
+    graceful degradation for crashing programs.
+
+    DieHard's guarantee is {e probabilistic}: a run that dies under one
+    heap randomization seed has an independent chance of surviving under
+    a fresh one — the fact the replicated mode (§5) exploits in space,
+    this module exploits in time.  The supervisor runs a program under
+    an escalation ladder:
+
+    + run under a DieHard heap with a fresh seed;
+    + on a crash, abort or timeout, {b retry} up to [max_retries] times,
+      each with a fresh seed from the {!Dh_rng.Seed} pool and with the
+      heap-expansion factor M (and the heap itself) multiplied by
+      [backoff] — Theorem 2's masking probability grows with the free
+      pool, so each retry is strictly better armoured than the last;
+    + if every randomized retry dies, {b degrade} to a final attempt on
+      a {!Dh_alloc.Rescue}-wrapped heap (pad requests, defer frees,
+      zero-fill) — the Rx-style last resort that trades memory-error
+      detection for the best odds of finishing at all;
+    + after the first failure, optionally re-execute the identical run
+      (same seed, same heap) under {!Dh_alloc.Canary} instrumentation
+      purely to {b diagnose} the fault class — buffer overflow, dangling
+      write, or wild write — for the incident report.
+
+    Every attempt is recorded in a structured {!incident}: seed, M, heap
+    size, mode, outcome, and fuel burned — the crash dump without the
+    crash that §9 gestures at, plus the recovery that Rx and the Morello
+    rewind-and-discard line make their whole contribution.
+
+    Programs are deterministic functions of their input and allocator
+    (the {!Dh_alloc.Program} contract), so re-execution from the start
+    is an exact rollback. *)
+
+type policy = {
+  max_retries : int;  (** Randomized retries after the first attempt. *)
+  backoff : int;
+      (** Heap-expansion multiplier applied to M and to the heap size on
+          each retry (exponential; 1 = retry on an identical heap). *)
+  rescue : bool;  (** Degrade to the rescue allocator when retries die. *)
+  diagnose : bool;
+      (** Replay the first failure under canary instrumentation to
+          classify it.  The replay's outcome is never used for survival;
+          its fuel is charged to the incident. *)
+  fuel : int;  (** Step budget per attempt. *)
+}
+
+val default_policy : policy
+(** 3 retries, backoff 2, rescue and diagnosis on, 50M steps fuel. *)
+
+type mode =
+  | Randomized  (** A plain DieHard heap. *)
+  | Rescue  (** DieHard wrapped in {!Dh_alloc.Rescue} (degraded). *)
+
+type plan = {
+  attempt : int;  (** 0-based attempt number. *)
+  seed : int;  (** Heap randomization seed for this attempt. *)
+  multiplier : int;  (** M for this attempt. *)
+  heap_size : int;  (** Heap bytes for this attempt. *)
+  mode : mode;
+}
+
+type attempt_report = {
+  plan : plan;
+  outcome : Dh_mem.Process.outcome;
+  ok : bool;  (** Did this attempt satisfy the success predicate? *)
+  fuel_burned : int;
+}
+
+type verdict =
+  | Survived of int  (** Index of the attempt that succeeded. *)
+  | Gave_up  (** Every rung of the ladder died. *)
+
+type incident = {
+  program : string;
+  verdict : verdict;
+  attempts : attempt_report list;  (** In execution order. *)
+  diagnosis : Dh_alloc.Canary.diagnosis option;
+      (** From the canary replay; [None] when diagnosis is off or the
+          first attempt succeeded. *)
+  canary_violations : Dh_alloc.Canary.violation list;
+  output : string option;  (** Output of the surviving attempt. *)
+  total_fuel : int;  (** Across all attempts and the diagnosis replay. *)
+}
+
+val run :
+  ?policy:policy ->
+  ?config:Config.t ->
+  ?seed_pool:Dh_rng.Seed.t ->
+  ?input:string ->
+  ?now:int ->
+  ?policy_kind:Dh_alloc.Policy.kind ->
+  ?success:(Dh_mem.Process.result -> bool) ->
+  ?wrap:(plan -> Dh_alloc.Allocator.t -> Dh_alloc.Allocator.t) ->
+  Dh_alloc.Program.t ->
+  incident
+(** [run program] executes the escalation ladder.  [config] supplies the
+    first attempt's M and heap size (its seed is ignored — seeds come
+    from [seed_pool]; its replicated flag is forced off).  [success]
+    decides whether an attempt's result counts as survival (default:
+    exited 0); campaign drivers pass an output-equality check.  [wrap]
+    interposes on every attempt's allocator {e including} the canary
+    replay — fault-injection benchmarks use it to re-inject the same
+    faults (keyed off their own seed, not the plan's) into every rung of
+    the ladder. *)
+
+val pp_incident : Format.formatter -> incident -> unit
+(** Multi-line, one row per attempt, plus the diagnosis. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -23,39 +23,48 @@ let classify ~reference (result : Process.result) =
   | Process.Aborted _ -> Aborted
   | Process.Timeout -> Timed_out
 
+type error = Tracing_failed of { outcome : Process.outcome; output : string }
+
+let error_to_string (Tracing_failed { outcome; _ }) =
+  Printf.sprintf "tracing run did not complete cleanly (%s)"
+    (Process.outcome_to_string outcome)
+
 let run ?(input = "") ?(fuel = 50_000_000) ~trials ~spec ~make_alloc program =
   (* 1. tracing run: obtain the allocation log *)
   let tracer, traced_alloc = Trace.wrap (make_alloc ~trial:0) in
   let trace_result = Program.run ~input ~fuel program traced_alloc in
-  (match trace_result.Process.outcome with
-  | Process.Exited 0 -> ()
-  | other ->
-    failwith
-      (Printf.sprintf "Campaign: tracing run did not complete cleanly (%s)"
-         (Process.outcome_to_string other)));
-  let log = Trace.lifetimes tracer in
-  let reference = trace_result.Process.output in
-  (* 2. injected trials *)
-  let runs =
-    List.init trials (fun i ->
-        let trial = i + 1 in
-        let alloc = make_alloc ~trial in
-        let _, injected =
-          Injector.wrap { spec with Injector.seed = spec.Injector.seed + trial } ~log alloc
-        in
-        let result = Program.run ~input ~fuel program injected in
-        classify ~reference result)
-  in
-  let count c = List.length (List.filter (fun x -> x = c) runs) in
-  {
-    trials;
-    correct = count Correct;
-    wrong_output = count Wrong_output;
-    crashed = count Crashed;
-    aborted = count Aborted;
-    timed_out = count Timed_out;
-    runs;
-  }
+  match trace_result.Process.outcome with
+  | Process.Exited 0 ->
+    let log = Trace.lifetimes tracer in
+    let reference = trace_result.Process.output in
+    (* 2. injected trials *)
+    let runs =
+      List.init trials (fun i ->
+          let trial = i + 1 in
+          let alloc = make_alloc ~trial in
+          let _, injected =
+            Injector.wrap { spec with Injector.seed = spec.Injector.seed + trial } ~log alloc
+          in
+          let result = Program.run ~input ~fuel program injected in
+          classify ~reference result)
+    in
+    let count c = List.length (List.filter (fun x -> x = c) runs) in
+    Ok
+      {
+        trials;
+        correct = count Correct;
+        wrong_output = count Wrong_output;
+        crashed = count Crashed;
+        aborted = count Aborted;
+        timed_out = count Timed_out;
+        runs;
+      }
+  | outcome -> Error (Tracing_failed { outcome; output = trace_result.Process.output })
+
+let run_exn ?input ?fuel ~trials ~spec ~make_alloc program =
+  match run ?input ?fuel ~trials ~spec ~make_alloc program with
+  | Ok tally -> tally
+  | Error e -> failwith ("Campaign: " ^ error_to_string e)
 
 let pp_tally ppf t =
   let cell name n = if n > 0 then Some (Printf.sprintf "%d/%d %s" n t.trials name) else None in

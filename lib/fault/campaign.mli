@@ -37,6 +37,15 @@ type tally = {
 
 val classify : reference:string -> Dh_mem.Process.result -> classification
 
+type error =
+  | Tracing_failed of { outcome : Dh_mem.Process.outcome; output : string }
+      (** The uninjected tracing run itself did not exit cleanly — the
+          program (or the allocator under test) is broken before any
+          fault is injected, so there is no log and no reference output
+          to campaign against. *)
+
+val error_to_string : error -> string
+
 val run :
   ?input:string ->
   ?fuel:int ->
@@ -44,12 +53,25 @@ val run :
   spec:Injector.spec ->
   make_alloc:(trial:int -> Dh_alloc.Allocator.t) ->
   Dh_alloc.Program.t ->
-  tally
+  (tally, error) result
 (** [run ~trials ~spec ~make_alloc program] executes the full campaign.
     [make_alloc ~trial] must build a fresh allocator on a fresh address
     space; trial 0 is used for the tracing and reference runs, trials
     1..n for injection (each receives injection seed [spec.seed + trial]
-    so runs differ, as the paper's ten runs do). *)
+    so runs differ, as the paper's ten runs do).  Returns [Error] when
+    the tracing run fails, so drivers running many campaigns can report
+    the broken one and keep going. *)
+
+val run_exn :
+  ?input:string ->
+  ?fuel:int ->
+  trials:int ->
+  spec:Injector.spec ->
+  make_alloc:(trial:int -> Dh_alloc.Allocator.t) ->
+  Dh_alloc.Program.t ->
+  tally
+(** {!run}, raising [Failure] on a tracing failure — for tests and
+    one-shot drivers where tearing down is the right degradation. *)
 
 val pp_tally : Format.formatter -> tally -> unit
 (** e.g. "9/10 correct, 1/10 crashed". *)

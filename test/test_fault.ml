@@ -174,7 +174,7 @@ fn main() {
 
 let test_campaign_clean_spec_all_correct () =
   let tally =
-    Campaign.run ~trials:5 ~spec:Injector.nothing
+    Campaign.run_exn ~trials:5 ~spec:Injector.nothing
       ~make_alloc:(fun ~trial ->
         ignore trial;
         fresh_freelist ())
@@ -185,7 +185,7 @@ let test_campaign_clean_spec_all_correct () =
 let test_campaign_dangling_freelist_fails () =
   let spec = { Injector.paper_dangling with Injector.dangling_distance = 6 } in
   let tally =
-    Campaign.run ~trials:10 ~spec
+    Campaign.run_exn ~trials:10 ~spec
       ~make_alloc:(fun ~trial ->
         ignore trial;
         fresh_freelist ())
@@ -201,7 +201,7 @@ let test_campaign_dangling_freelist_fails () =
 let test_campaign_dangling_diehard_survives () =
   let spec = { Injector.paper_dangling with Injector.dangling_distance = 6 } in
   let tally =
-    Campaign.run ~trials:10 ~spec
+    Campaign.run_exn ~trials:10 ~spec
       ~make_alloc:(fun ~trial -> fresh_diehard ~seed:(trial + 1) ())
       list_program
   in
@@ -237,7 +237,7 @@ let test_campaign_trials_differ () =
     { Injector.nothing with Injector.dangling_rate = 0.15; dangling_distance = 4 }
   in
   let tally =
-    Campaign.run ~trials:10 ~spec
+    Campaign.run_exn ~trials:10 ~spec
       ~make_alloc:(fun ~trial ->
         ignore trial;
         fresh_freelist ())
@@ -248,8 +248,29 @@ let test_campaign_trials_differ () =
     (tally.Campaign.correct + tally.Campaign.wrong_output + tally.Campaign.crashed
    + tally.Campaign.aborted + tally.Campaign.timed_out)
 
+let test_campaign_tracing_failure_is_error () =
+  (* A program that always crashes cannot be traced: the campaign must
+     report the failure as a value, not tear the driver down. *)
+  let crasher =
+    Dh_lang.Interp.program_of_source ~name:"crasher"
+      {|fn main() { var p = 0; p[0] = 1; }|}
+  in
+  match
+    Campaign.run ~trials:3 ~spec:Injector.nothing
+      ~make_alloc:(fun ~trial ->
+        ignore trial;
+        fresh_freelist ())
+      crasher
+  with
+  | Ok _ -> Alcotest.fail "campaign should not trace a crashing program"
+  | Error (Campaign.Tracing_failed { outcome; _ }) ->
+    check "classified as crash" true
+      (match outcome with Dh_mem.Process.Crashed _ -> true | _ -> false)
+
 let suite =
   [
+    Alcotest.test_case "campaign: tracing failure -> Error" `Quick
+      test_campaign_tracing_failure_is_error;
     Alcotest.test_case "identity wrapper" `Quick test_nothing_spec_is_identity;
     Alcotest.test_case "underflow shrinks" `Quick test_underflow_shrinks_allocation;
     Alcotest.test_case "underflow rate" `Quick test_underflow_rate_statistical;

@@ -14,6 +14,9 @@ let () =
       ("theorems", Test_theorems.suite);
       ("lang", Test_lang.suite);
       ("fault", Test_fault.suite);
+      ("rescue", Test_rescue.suite);
+      ("canary", Test_canary.suite);
+      ("supervisor", Test_supervisor.suite);
       ("workload", Test_workload.suite);
       ("extensions", Test_extensions.suite);
       ("adaptive", Test_adaptive.suite);
