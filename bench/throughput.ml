@@ -1,0 +1,33 @@
+(* Stand-alone throughput microbenchmark:
+
+     dune exec bench/throughput.exe -- [--quick] [--out PATH]
+
+   Prints a human summary and writes BENCH_throughput.json (or PATH).
+   The same benchmark is reachable as `diehard bench`. *)
+
+let () =
+  let quick = ref false in
+  let out = ref "BENCH_throughput.json" in
+  let rec parse = function
+    | [] -> ()
+    | ("--quick" | "quick") :: rest ->
+      quick := true;
+      parse rest
+    | "--out" :: path :: rest ->
+      out := path;
+      parse rest
+    | arg :: _ ->
+      Printf.eprintf "usage: throughput [--quick] [--out PATH] (got %S)\n" arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let report = Dh_bench.Throughput.run ~quick:!quick () in
+  Dh_bench.Throughput.print report;
+  Dh_bench.Throughput.write_json ~path:!out report;
+  Printf.printf "wrote %s\n" !out;
+  if not (report.Dh_bench.Throughput.fill.Dh_bench.Throughput.semantics_match
+         && report.Dh_bench.Throughput.copy.Dh_bench.Throughput.semantics_match)
+  then begin
+    prerr_endline "bulk/bytewise semantics mismatch";
+    exit 1
+  end

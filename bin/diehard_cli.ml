@@ -336,10 +336,43 @@ let diagnose_cmd =
       const action $ prog_arg $ replicas_arg $ seed_arg $ heap_arg $ input_arg
       $ fuel_arg)
 
+(* --- bench --- *)
+
+let bench_cmd =
+  let action quick out =
+    let report = Dh_bench.Throughput.run ~quick () in
+    Dh_bench.Throughput.print report;
+    (match out with
+    | Some path ->
+      Dh_bench.Throughput.write_json ~path report;
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    exit
+      (if report.Dh_bench.Throughput.fill.Dh_bench.Throughput.semantics_match
+          && report.Dh_bench.Throughput.copy.Dh_bench.Throughput.semantics_match
+       then 0
+       else 1)
+  in
+  let quick_arg =
+    let doc = "Shrink sizes and repetitions to CI-smoke scale." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Write the JSON report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"PATH" ~doc)
+  in
+  let doc =
+    "Measure simulator throughput: allocation rates, bulk vs bytewise \
+     fill/copy bandwidth (with a differential semantics check), GC mark rate, \
+     and bitmap sweep rate."
+  in
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const action $ quick_arg $ out_arg)
+
 let main_cmd =
   let doc = "DieHard (PLDI 2006) reproduction: probabilistic memory safety, simulated" in
   let info = Cmd.info "diehard" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ run_cmd; replicate_cmd; survive_cmd; inject_cmd; check_cmd; diagnose_cmd; trace_cmd ]
+    [ run_cmd; replicate_cmd; survive_cmd; inject_cmd; check_cmd; diagnose_cmd;
+      trace_cmd; bench_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -50,6 +50,32 @@ let iter_set t f =
   done
 
 let first_clear t =
-  let n = t.length in
-  let rec go i = if i >= n then None else if not (get t i) then Some i else go (i + 1) in
+  (* Byte-at-a-time: full 0xFF bytes are skipped in one comparison, so a
+     nearly-full bitmap costs O(bytes), not O(bits) get calls. *)
+  let nbytes = Bytes.length t.bits in
+  let rec go byte =
+    if byte >= nbytes then None
+    else
+      let b = Char.code (Bytes.unsafe_get t.bits byte) in
+      if b = 0xFF then go (byte + 1)
+      else begin
+        let rec low_clear k = if b land (1 lsl k) = 0 then k else low_clear (k + 1) in
+        let i = (byte lsl 3) + low_clear 0 in
+        (* The tail bits of the last byte are always zero but lie past
+           [length]; they do not count as free slots. *)
+        if i < t.length then Some i else None
+      end
+  in
   go 0
+
+let iter_clear t f =
+  for byte = 0 to Bytes.length t.bits - 1 do
+    let b = Char.code (Bytes.unsafe_get t.bits byte) in
+    if b <> 0xFF then
+      for bit = 0 to 7 do
+        if b land (1 lsl bit) = 0 then begin
+          let i = (byte lsl 3) + bit in
+          if i < t.length then f i
+        end
+      done
+  done

@@ -27,4 +27,10 @@ val iter_set : t -> (int -> unit) -> unit
 
 val first_clear : t -> int option
 (** Lowest clear index, if any — used by deterministic baseline policies in
-    the ablation benches. *)
+    the ablation benches.  Skips full bytes, so nearly-full bitmaps cost
+    O(bits/8). *)
+
+val iter_clear : t -> (int -> unit) -> unit
+(** Apply to every clear index, ascending — the sweep-side complement of
+    {!iter_set} (scanning free slots without a per-bit bounds-checked
+    [get]). *)

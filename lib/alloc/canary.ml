@@ -34,20 +34,25 @@ let pattern t addr =
 
 let record t v = t.violations <- v :: t.violations
 
-(* Scan [addr+lo, addr+hi) for the first byte that lost its canary. *)
+(* Scan [addr+lo, addr+hi) for the first byte that lost its canary: one
+   bulk read, then a local comparison — the exact offending offset is
+   still reported. *)
 let first_corrupt t ~addr ~lo ~hi =
-  let rec go off =
-    if off >= hi then None
-    else if Mem.read8 t.alloc.Allocator.mem (addr + off) <> pattern t (addr + off)
-    then Some off
-    else go (off + 1)
-  in
-  go lo
+  if hi <= lo then None
+  else begin
+    let got = Mem.read_bytes t.alloc.Allocator.mem ~addr:(addr + lo) ~len:(hi - lo) in
+    let rec go k =
+      if k >= hi - lo then None
+      else if Char.code got.[k] <> pattern t (addr + lo + k) then Some (lo + k)
+      else go (k + 1)
+    in
+    go 0
+  end
 
 let fill_pattern t ~addr ~lo ~hi =
-  for off = lo to hi - 1 do
-    Mem.write8 t.alloc.Allocator.mem (addr + off) (pattern t (addr + off))
-  done
+  if hi > lo then
+    Mem.write_bytes t.alloc.Allocator.mem ~addr:(addr + lo)
+      (String.init (hi - lo) (fun k -> Char.chr (pattern t (addr + lo + k))))
 
 let check_tail t ~addr ~(obj : live) ~detected =
   match first_corrupt t ~addr ~lo:obj.requested ~hi:obj.slot with
@@ -137,6 +142,7 @@ let diagnose ?fault t =
     | Some (Fault.Unmapped { access = Fault.Write; _ }) -> Wild_write
     | Some (Fault.Unmapped { access = Fault.Read; _ }) -> Wild_read
     | Some (Fault.Unmap_unmapped _) -> Wild_write
+    | Some (Fault.Protect_unmapped _) -> Wild_write
     | None -> Unclear
 
 let diagnosis_to_string = function

@@ -1,33 +1,30 @@
 module Mem = Dh_mem.Mem
 
-let strlen mem addr =
-  let rec go n = if Mem.read8 mem (addr + n) = 0 then n else go (n + 1) in
-  go 0
+(* NUL-bounded reads must stay byte-exact: they may not touch a single
+   byte past the terminator (which could sit one byte before a guard
+   page).  [Mem.cstring] provides that scan segment-resident; length-bound
+   operations then move their payload with one bulk call instead of a
+   per-byte loop. *)
+
+let strlen mem addr = String.length (Mem.cstring mem addr)
 
 let strcpy mem ~dst ~src =
-  let rec go i =
-    let c = Mem.read8 mem (src + i) in
-    Mem.write8 mem (dst + i) c;
-    if c <> 0 then go (i + 1)
-  in
-  go 0
+  let s = Mem.cstring mem src in
+  Mem.write_bytes mem ~addr:dst (s ^ "\000")
 
 let strncpy mem ~dst ~src ~n =
-  let rec go i =
-    if i < n then begin
-      let c = Mem.read8 mem (src + i) in
-      Mem.write8 mem (dst + i) c;
-      if c = 0 then
-        (* C's strncpy pads the remainder with NULs. *)
-        for j = i + 1 to n - 1 do
-          Mem.write8 mem (dst + j) 0
-        done
-      else go (i + 1)
-    end
-  in
-  go 0
+  if n > 0 then begin
+    let s = Mem.cstring ~limit:n mem src in
+    let k = String.length s in
+    Mem.write_bytes mem ~addr:dst s;
+    (* C's strncpy pads the remainder with NULs (only when a terminator
+       was found within the first [n] bytes). *)
+    if k < n then Mem.fill mem ~addr:(dst + k) ~len:(n - k) '\000'
+  end
 
 let strcmp mem a b =
+  (* Byte-at-a-time on purpose: strcmp may not read past the first
+     difference of either string. *)
   let rec go i =
     let ca = Mem.read8 mem (a + i) and cb = Mem.read8 mem (b + i) in
     if ca <> cb then compare ca cb else if ca = 0 then 0 else go (i + 1)
@@ -35,15 +32,8 @@ let strcmp mem a b =
   go 0
 
 let memcpy mem ~dst ~src ~n =
-  for i = 0 to n - 1 do
-    Mem.write8 mem (dst + i) (Mem.read8 mem (src + i))
-  done
+  if n > 0 then Mem.write_bytes mem ~addr:dst (Mem.read_bytes mem ~addr:src ~len:n)
 
-let memset mem ~dst ~c ~n =
-  for i = 0 to n - 1 do
-    Mem.write8 mem (dst + i) c
-  done
+let memset mem ~dst ~c ~n = if n > 0 then Mem.fill mem ~addr:dst ~len:n (Char.chr (c land 0xFF))
 
-let write_string mem ~addr s =
-  Mem.write_bytes mem ~addr s;
-  Mem.write8 mem (addr + String.length s) 0
+let write_string mem ~addr s = Mem.write_bytes mem ~addr (s ^ "\000")

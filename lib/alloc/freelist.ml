@@ -27,6 +27,7 @@ type arena = {
 type t = {
   mem : Mem.t;
   variant : variant;
+  scrub : bool;  (* fill freed payloads with 0xDD, MALLOC_PERTURB_-style *)
   arena_size : int;
   heap_limit : int;
   mutable arenas : arena list;  (* most recent first *)
@@ -47,11 +48,13 @@ let bin_of t size =
   | Some c -> c
   | None -> bin_count - 1
 
-let create ?(variant = Lea) ?(arena_size = 1 lsl 20) ?(heap_limit = 256 lsl 20) mem =
+let create ?(variant = Lea) ?(scrub = false) ?(arena_size = 1 lsl 20)
+    ?(heap_limit = 256 lsl 20) mem =
   if arena_size < 4096 then invalid_arg "Freelist.create: arena_size too small";
   {
     mem;
     variant;
+    scrub;
     arena_size;
     heap_limit;
     arenas = [];
@@ -232,6 +235,12 @@ let free t ptr =
       | None -> size
     in
     Stats.on_free t.stats ~reserved:(max 0 (size - header_size));
+    (* Freed-block init: scribble the (possibly coalesced) payload in one
+       bulk fill before threading the list links through it.  A wild free
+       whose header claims space outside the arena will fault here — the
+       scribble is an opt-in debugging aid, like MALLOC_PERTURB_. *)
+    if t.scrub && size > header_size then
+      Mem.fill t.mem ~addr:(c + header_size) ~len:(size - header_size) '\xDD';
     insert_free t c size;
     bookkeeping t
   end

@@ -1,0 +1,309 @@
+module Mem = Dh_mem.Mem
+module Allocator = Dh_alloc.Allocator
+
+type rate = { name : string; ops : int; bytes : int; seconds : float }
+
+type comparison = {
+  cname : string;
+  bytes_per_op : int;
+  bulk : rate;
+  bytewise : rate;
+  speedup : float;
+  semantics_match : bool;
+}
+
+type report = {
+  quick : bool;
+  alloc : rate list;
+  fill : comparison;
+  copy : comparison;
+  gc_mark : rate;
+  bitmap_sweep : rate;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  max 1e-9 (Unix.gettimeofday () -. t0)
+
+let ops_per_sec r = float_of_int r.ops /. r.seconds
+let mb_per_sec r = float_of_int r.bytes /. (1024. *. 1024.) /. r.seconds
+
+(* --- allocation rate --- *)
+
+(* A malloc/free churn with a bounded live set: the slot table recycles,
+   so every allocator reaches its steady state (bins for the freelist,
+   bitmap probing for DieHard, collections for the GC). *)
+let alloc_bench ~ops name make =
+  let alloc = make () in
+  let malloc = alloc.Allocator.malloc and free = alloc.Allocator.free in
+  let sizes = [| 16; 24; 32; 48; 64; 96; 128; 256 |] in
+  let live = Array.make 256 0 in
+  let performed = ref 0 in
+  let seconds =
+    time (fun () ->
+        for i = 0 to ops - 1 do
+          let slot = i land 255 in
+          if live.(slot) <> 0 then begin
+            free live.(slot);
+            live.(slot) <- 0;
+            incr performed
+          end;
+          (match malloc sizes.(i land 7) with
+          | Some p -> live.(slot) <- p
+          | None -> ());
+          incr performed
+        done)
+  in
+  { name; ops = !performed; bytes = 0; seconds }
+
+let alloc_benches ~quick =
+  let ops = if quick then 20_000 else 200_000 in
+  [
+    alloc_bench ~ops "diehard" (fun () ->
+        let mem = Mem.create () in
+        Diehard.Heap.allocator
+          (Diehard.Heap.create ~config:(Diehard.Config.v ~seed:1 ()) mem));
+    alloc_bench ~ops "freelist-lea" (fun () ->
+        Dh_alloc.Freelist.allocator (Dh_alloc.Freelist.create (Mem.create ())));
+    alloc_bench ~ops "gc-bdw" (fun () ->
+        Dh_alloc.Gc.allocator (Dh_alloc.Gc.create (Mem.create ())));
+  ]
+
+(* --- bulk vs bytewise bandwidth --- *)
+
+(* Twin-heap differential: run the bulk operation on one heap and the
+   bytewise loop on an identically-laid-out heap, then require identical
+   contents, read/write counts, TLB and cache misses, and touched pages.
+   This is the acceptance test for the charging rule: miss accounting
+   depends only on the pages and lines an access spans, not on the code
+   path that performs it. *)
+let stats_delta (a : Mem.stats) (b : Mem.stats) =
+  Mem.(b.reads - a.reads, b.writes - a.writes,
+       b.tlb_misses - a.tlb_misses, b.cache_misses - a.cache_misses)
+
+let fill_semantics ~len =
+  let m1 = Mem.create () and m2 = Mem.create () in
+  let a1 = Mem.mmap m1 len and a2 = Mem.mmap m2 len in
+  let s1 = Mem.stats m1 and s2 = Mem.stats m2 in
+  Mem.fill m1 ~addr:a1 ~len 'Q';
+  for i = 0 to len - 1 do
+    Mem.write8 m2 (a2 + i) (Char.code 'Q')
+  done;
+  let d1 = stats_delta s1 (Mem.stats m1) and d2 = stats_delta s2 (Mem.stats m2) in
+  d1 = d2
+  && Mem.touched_pages m1 = Mem.touched_pages m2
+  && Mem.read_bytes m1 ~addr:a1 ~len = Mem.read_bytes m2 ~addr:a2 ~len
+
+let fill_bench ~quick =
+  let len = if quick then 64 * 1024 else 256 * 1024 in
+  let byte_reps = if quick then 4 else 8 in
+  let bulk_reps = byte_reps * 64 in
+  let mem = Mem.create () in
+  let a = Mem.mmap mem len in
+  let bulk_s =
+    time (fun () ->
+        for _ = 1 to bulk_reps do
+          Mem.fill mem ~addr:a ~len 'Q'
+        done)
+  in
+  let byte_s =
+    time (fun () ->
+        for _ = 1 to byte_reps do
+          for i = 0 to len - 1 do
+            Mem.write8 mem (a + i) 0x51
+          done
+        done)
+  in
+  let bulk = { name = "fill-bulk"; ops = bulk_reps; bytes = bulk_reps * len; seconds = bulk_s } in
+  let bytewise =
+    { name = "fill-bytewise"; ops = byte_reps; bytes = byte_reps * len; seconds = byte_s }
+  in
+  {
+    cname = "fill";
+    bytes_per_op = len;
+    bulk;
+    bytewise;
+    speedup = mb_per_sec bulk /. mb_per_sec bytewise;
+    semantics_match = fill_semantics ~len;
+  }
+
+let copy_semantics ~len =
+  let m1 = Mem.create () and m2 = Mem.create () in
+  let src1 = Mem.mmap m1 len and src2 = Mem.mmap m2 len in
+  let dst1 = Mem.mmap m1 len and dst2 = Mem.mmap m2 len in
+  Mem.fill_random m1 ~addr:src1 ~len (Dh_rng.Mwc.create ~seed:7);
+  Mem.fill_random m2 ~addr:src2 ~len (Dh_rng.Mwc.create ~seed:7);
+  let s1 = Mem.stats m1 and s2 = Mem.stats m2 in
+  Mem.write_bytes m1 ~addr:dst1 (Mem.read_bytes m1 ~addr:src1 ~len);
+  (* The bytewise reference mirrors the bulk pair operation for operation:
+     one whole-range read, then one whole-range write.  (A per-byte
+     interleaved memcpy is a different access sequence and may observe
+     different cache misses once the range exceeds cache capacity.) *)
+  let tmp = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set tmp i (Char.chr (Mem.read8 m2 (src2 + i)))
+  done;
+  for i = 0 to len - 1 do
+    Mem.write8 m2 (dst2 + i) (Char.code (Bytes.get tmp i))
+  done;
+  let d1 = stats_delta s1 (Mem.stats m1) and d2 = stats_delta s2 (Mem.stats m2) in
+  d1 = d2
+  && Mem.touched_pages m1 = Mem.touched_pages m2
+  && Mem.read_bytes m1 ~addr:dst1 ~len = Mem.read_bytes m2 ~addr:dst2 ~len
+
+let copy_bench ~quick =
+  let len = if quick then 64 * 1024 else 256 * 1024 in
+  let byte_reps = if quick then 4 else 8 in
+  let bulk_reps = byte_reps * 64 in
+  let mem = Mem.create () in
+  let src = Mem.mmap mem len in
+  let dst = Mem.mmap mem len in
+  Mem.fill_random mem ~addr:src ~len (Dh_rng.Mwc.create ~seed:7);
+  let bulk_s =
+    time (fun () ->
+        for _ = 1 to bulk_reps do
+          Mem.write_bytes mem ~addr:dst (Mem.read_bytes mem ~addr:src ~len)
+        done)
+  in
+  let byte_s =
+    time (fun () ->
+        for _ = 1 to byte_reps do
+          for i = 0 to len - 1 do
+            Mem.write8 mem (dst + i) (Mem.read8 mem (src + i))
+          done
+        done)
+  in
+  let bulk = { name = "copy-bulk"; ops = bulk_reps; bytes = bulk_reps * len; seconds = bulk_s } in
+  let bytewise =
+    { name = "copy-bytewise"; ops = byte_reps; bytes = byte_reps * len; seconds = byte_s }
+  in
+  {
+    cname = "copy";
+    bytes_per_op = len;
+    bulk;
+    bytewise;
+    speedup = mb_per_sec bulk /. mb_per_sec bytewise;
+    semantics_match = copy_semantics ~len;
+  }
+
+(* --- GC mark rate --- *)
+
+(* A pointer chain through every object forces the collector to trace the
+   whole heap from a single root; marking pulls each payload with one
+   bulk read, so this measures the traced bytes per second. *)
+let gc_mark_bench ~quick =
+  let n = if quick then 2_000 else 20_000 in
+  let objsz = 248 in
+  let reps = if quick then 5 else 10 in
+  let mem = Mem.create () in
+  let gc = Dh_alloc.Gc.create mem in
+  let alloc = Dh_alloc.Gc.allocator gc in
+  let objs =
+    Array.init n (fun _ ->
+        match alloc.Allocator.malloc objsz with
+        | Some p -> p
+        | None -> failwith "gc_mark_bench: malloc failed")
+  in
+  for i = 0 to n - 2 do
+    Mem.write64 mem objs.(i) objs.(i + 1)
+  done;
+  Dh_alloc.Gc.register_roots gc (fun () -> [ objs.(0) ]);
+  let seconds =
+    time (fun () ->
+        for _ = 1 to reps do
+          Dh_alloc.Gc.collect gc
+        done)
+  in
+  { name = "gc-mark"; ops = n * reps; bytes = n * objsz * reps; seconds }
+
+(* --- bitmap sweep --- *)
+
+(* Nearly-full bitmap (one clear bit per 64): [iter_clear] must skip the
+   seven-eighths of bytes that are 0xFF. *)
+let bitmap_bench ~quick =
+  let bits = if quick then 1 lsl 18 else 1 lsl 21 in
+  let reps = if quick then 20 else 50 in
+  let bm = Dh_alloc.Bitmap.create bits in
+  for i = 0 to bits - 1 do
+    if i land 63 <> 0 then Dh_alloc.Bitmap.set bm i
+  done;
+  let visited = ref 0 in
+  let seconds =
+    time (fun () ->
+        for _ = 1 to reps do
+          Dh_alloc.Bitmap.iter_clear bm (fun _ -> incr visited)
+        done)
+  in
+  { name = "bitmap-sweep"; ops = !visited; bytes = reps * (bits / 8); seconds }
+
+(* --- driver --- *)
+
+let run ?(quick = false) () =
+  {
+    quick;
+    alloc = alloc_benches ~quick;
+    fill = fill_bench ~quick;
+    copy = copy_bench ~quick;
+    gc_mark = gc_mark_bench ~quick;
+    bitmap_sweep = bitmap_bench ~quick;
+  }
+
+(* --- output --- *)
+
+let json_rate b r =
+  Printf.bprintf b
+    "{\"name\":%S,\"ops\":%d,\"bytes\":%d,\"seconds\":%.6f,\"ops_per_sec\":%.1f,\"mb_per_sec\":%.2f}"
+    r.name r.ops r.bytes r.seconds (ops_per_sec r) (mb_per_sec r)
+
+let json_comparison b c =
+  Printf.bprintf b
+    "{\"name\":%S,\"bytes_per_op\":%d,\"bulk\":" c.cname c.bytes_per_op;
+  json_rate b c.bulk;
+  Printf.bprintf b ",\"bytewise\":";
+  json_rate b c.bytewise;
+  Printf.bprintf b ",\"speedup\":%.2f,\"semantics_match\":%b}" c.speedup
+    c.semantics_match
+
+let to_json r =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\"bench\":\"throughput\",\"quick\":%b,\"alloc\":[" r.quick;
+  List.iteri
+    (fun i rate ->
+      if i > 0 then Buffer.add_char b ',';
+      json_rate b rate)
+    r.alloc;
+  Printf.bprintf b "],\"fill\":";
+  json_comparison b r.fill;
+  Printf.bprintf b ",\"copy\":";
+  json_comparison b r.copy;
+  Printf.bprintf b ",\"gc_mark\":";
+  json_rate b r.gc_mark;
+  Printf.bprintf b ",\"bitmap_sweep\":";
+  json_rate b r.bitmap_sweep;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let write_json ~path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json r))
+
+let print r =
+  Printf.printf "throughput (%s)\n" (if r.quick then "quick" else "full");
+  List.iter
+    (fun rate ->
+      Printf.printf "  alloc %-14s %10.0f ops/s\n" rate.name (ops_per_sec rate))
+    r.alloc;
+  let pc c =
+    Printf.printf
+      "  %-4s bulk %8.1f MB/s  bytewise %7.1f MB/s  speedup %6.1fx  semantics %s\n"
+      c.cname (mb_per_sec c.bulk) (mb_per_sec c.bytewise) c.speedup
+      (if c.semantics_match then "match" else "MISMATCH")
+  in
+  pc r.fill;
+  pc r.copy;
+  Printf.printf "  gc-mark %14.1f MB/s\n" (mb_per_sec r.gc_mark);
+  Printf.printf "  bitmap-sweep %9.0f Mbit/s scanned\n"
+    (float_of_int r.bitmap_sweep.bytes *. 8. /. 1e6 /. r.bitmap_sweep.seconds)

@@ -1,0 +1,61 @@
+(** Simulator throughput microbenchmark.
+
+    Measures the raw speed of the simulated-memory substrate and the
+    allocators built on it — the numbers the bulk-access fast paths
+    (validate a page run once, then blit) are supposed to move:
+
+    - allocation rate (ops/s) under DieHard, the Lea-style freelist, and
+      the conservative GC;
+    - bulk [Mem.fill] and [Mem.read_bytes]/[write_bytes] bandwidth against
+      a bytewise [read8]/[write8] reference, with a differential
+      semantics check (same contents, same read/write counts, same
+      TLB/cache miss counts, same touched pages on twin heaps);
+    - GC mark rate over a pointer chain (bulk payload reads);
+    - [Bitmap.iter_clear] sweep rate over a nearly-full bitmap.
+
+    Results go to stdout ({!print}) and to a small hand-rolled JSON file
+    ({!write_json}, no external JSON dependency) consumed by CI's bench
+    smoke job as [BENCH_throughput.json]. *)
+
+type rate = {
+  name : string;
+  ops : int;  (** operations performed *)
+  bytes : int;  (** payload bytes moved (0 when not meaningful) *)
+  seconds : float;
+}
+
+type comparison = {
+  cname : string;
+  bytes_per_op : int;
+  bulk : rate;
+  bytewise : rate;
+  speedup : float;  (** bytewise seconds / bulk seconds, per byte *)
+  semantics_match : bool;
+      (** twin-heap differential: contents, read/write counts, TLB and
+          cache misses, and touched pages all identical between one bulk
+          operation and the equivalent bytewise loop *)
+}
+
+type report = {
+  quick : bool;
+  alloc : rate list;
+  fill : comparison;
+  copy : comparison;
+  gc_mark : rate;
+  bitmap_sweep : rate;
+}
+
+val run : ?quick:bool -> unit -> report
+(** Run every benchmark.  [quick] (default false) shrinks sizes and
+    repetitions to CI-smoke scale (well under a second). *)
+
+val ops_per_sec : rate -> float
+
+val mb_per_sec : rate -> float
+
+val to_json : report -> string
+
+val write_json : path:string -> report -> unit
+
+val print : report -> unit
+(** Human-readable summary on stdout. *)

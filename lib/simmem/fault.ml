@@ -4,6 +4,7 @@ type t =
   | Unmapped of { addr : int; access : access }
   | Protection of { addr : int; access : access }
   | Unmap_unmapped of { addr : int }
+  | Protect_unmapped of { addr : int; len : int; fault_addr : int }
 
 exception Error of t
 
@@ -21,5 +22,8 @@ let pp ppf = function
       access addr
   | Unmap_unmapped { addr } ->
     Format.fprintf ppf "munmap of unmapped address 0x%x" addr
+  | Protect_unmapped { addr; len; fault_addr } ->
+    Format.fprintf ppf "mprotect of range 0x%x+%d: address 0x%x is not mapped" addr
+      len fault_addr
 
 let to_string t = Format.asprintf "%a" pp t

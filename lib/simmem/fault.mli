@@ -16,6 +16,11 @@ type t =
       (** Access violating a page's protection, e.g. a guard-page hit. *)
   | Unmap_unmapped of { addr : int }
       (** [munmap] of an address that is not a mapped segment base. *)
+  | Protect_unmapped of { addr : int; len : int; fault_addr : int }
+      (** [protect] of a range [\[addr, addr+len)] that does not lie wholly
+          inside one mapped segment; [fault_addr] is the first byte of the
+          range outside the segment (the requested range and the actual
+          offending address, not a fictitious access). *)
 
 exception Error of t
 (** The simulated trap. *)

@@ -1,6 +1,7 @@
 type prot = No_access | Read_only | Read_write
 
 let page_size = 4096
+let page_shift = 12
 let word_size = 8
 
 type segment = {
@@ -22,15 +23,16 @@ type stats = {
   cache_misses : int;
 }
 
-(* A small TLB model: [tlb_entries] pages, FIFO replacement.  Feeds the
+(* A small TLB model: [tlb_entries] pages, direct-mapped.  Feeds the
    benchmark harness's cost model — random object placement (DieHard)
    touches many more pages than a compact allocator, which is exactly
    the overhead the paper attributes DieHard's slowdowns to (§4.5,
    §7.2.1: twolf "is due not to the cost of allocation but to TLB
-   misses"). *)
+   misses").  Direct-mapped integer arrays keep the model out of the
+   simulator's own hot path: no hashing, no allocation per access. *)
 let tlb_entries = 64
 
-(* Data-cache model: [cache_lines] 64-byte lines, FIFO replacement.
+(* Data-cache model: [cache_lines] 64-byte lines, direct-mapped.
    Charges cold traversals (GC marking, randomly-placed objects) that a
    purely functional simulator would otherwise treat as free. *)
 let cache_lines = 1024
@@ -45,13 +47,9 @@ type t = {
   mutable mmaps : int;
   mutable munmaps : int;
   mutable touched_pages : int;
-  tlb_pages : int array;
-  tlb_set : (int, unit) Hashtbl.t;
-  mutable tlb_hand : int;
+  tlb : int array;  (* direct-mapped page tags; -1 = empty *)
   mutable tlb_misses : int;
-  cache_tags : int array;
-  cache_set : (int, unit) Hashtbl.t;
-  mutable cache_hand : int;
+  dcache : int array;  (* direct-mapped line tags; -1 = empty *)
   mutable cache_misses : int;
 }
 
@@ -65,35 +63,45 @@ let create () =
     mmaps = 0;
     munmaps = 0;
     touched_pages = 0;
-    tlb_pages = Array.make tlb_entries (-1);
-    tlb_set = Hashtbl.create (2 * tlb_entries);
-    tlb_hand = 0;
+    tlb = Array.make tlb_entries (-1);
     tlb_misses = 0;
-    cache_tags = Array.make cache_lines (-1);
-    cache_set = Hashtbl.create (2 * cache_lines);
-    cache_hand = 0;
+    dcache = Array.make cache_lines (-1);
     cache_misses = 0;
   }
 
-let tlb_touch t addr =
-  let page = addr / page_size in
-  if not (Hashtbl.mem t.tlb_set page) then begin
-    t.tlb_misses <- t.tlb_misses + 1;
-    let old = t.tlb_pages.(t.tlb_hand) in
-    if old >= 0 then Hashtbl.remove t.tlb_set old;
-    t.tlb_pages.(t.tlb_hand) <- page;
-    Hashtbl.replace t.tlb_set page ();
-    t.tlb_hand <- (t.tlb_hand + 1) mod tlb_entries
-  end;
-  let line = addr lsr cache_line_shift in
-  if not (Hashtbl.mem t.cache_set line) then begin
-    t.cache_misses <- t.cache_misses + 1;
-    let old = t.cache_tags.(t.cache_hand) in
-    if old >= 0 then Hashtbl.remove t.cache_set old;
-    t.cache_tags.(t.cache_hand) <- line;
-    Hashtbl.replace t.cache_set line ();
-    t.cache_hand <- (t.cache_hand + 1) mod cache_lines
+(* --- the locality model ---
+
+   Charging rule: every access charges exactly the pages and cache lines
+   its byte range spans, once each, in address order — independent of
+   which code path (bytewise, word, or bulk) performs the access.
+   Repeated touches of a resident page/line are free, so a bytewise loop
+   and one bulk operation over the same range observe identical miss
+   counts. *)
+
+let touch_page t page =
+  let slot = page land (tlb_entries - 1) in
+  if t.tlb.(slot) <> page then begin
+    t.tlb.(slot) <- page;
+    t.tlb_misses <- t.tlb_misses + 1
   end
+
+let touch_line t line =
+  let slot = line land (cache_lines - 1) in
+  if t.dcache.(slot) <> line then begin
+    t.dcache.(slot) <- line;
+    t.cache_misses <- t.cache_misses + 1
+  end
+
+(* Charge the TLB and cache for a one-byte access at [addr]. *)
+let charge_byte t addr =
+  touch_page t (addr lsr page_shift);
+  touch_line t (addr lsr cache_line_shift)
+
+(* Charge every cache line overlapping the inclusive range [first, last]. *)
+let charge_lines t ~first ~last =
+  for line = first lsr cache_line_shift to last lsr cache_line_shift do
+    touch_line t line
+  done
 
 let round_pages len = (len + page_size - 1) / page_size * page_size
 
@@ -150,34 +158,40 @@ let mapped_bytes t = Imap.fold (fun _ seg acc -> acc + seg.len) t.segments 0
 let protect t ~addr ~len prot =
   if len <= 0 then invalid_arg "Mem.protect: length must be positive";
   match find_segment t addr with
-  | None -> Fault.raise_fault (Fault.Unmapped { addr; access = Write })
+  | None -> Fault.raise_fault (Fault.Protect_unmapped { addr; len; fault_addr = addr })
   | Some seg ->
     if addr + len > seg.base + seg.len then
-      Fault.raise_fault (Fault.Unmapped { addr = seg.base + seg.len; access = Write });
+      Fault.raise_fault
+        (Fault.Protect_unmapped { addr; len; fault_addr = seg.base + seg.len });
     let first = (addr - seg.base) / page_size in
     let last = (addr + len - 1 - seg.base) / page_size in
     for p = first to last do
       seg.prot.(p) <- prot
     done
 
+let prot_allows prot access =
+  match (prot, access) with
+  | Read_write, _ | Read_only, Fault.Read -> true
+  | No_access, _ | Read_only, Fault.Write -> false
+
+let mark_touched t seg page =
+  if not seg.touched.(page) then begin
+    seg.touched.(page) <- true;
+    t.touched_pages <- t.touched_pages + 1
+  end
+
 (* Per-byte access check.  Returns the segment so callers can then touch
    the backing bytes directly. *)
 let check t addr access =
-  tlb_touch t addr;
+  charge_byte t addr;
   match find_segment t addr with
   | None -> Fault.raise_fault (Fault.Unmapped { addr; access })
   | Some seg ->
-    let page = (addr - seg.base) / page_size in
-    (match (seg.prot.(page), access) with
-    | Read_write, _ | Read_only, Fault.Read -> ()
-    | No_access, _ | Read_only, Fault.Write ->
-      Fault.raise_fault (Fault.Protection { addr; access }));
+    let page = (addr - seg.base) lsr page_shift in
+    if not (prot_allows seg.prot.(page) access) then
+      Fault.raise_fault (Fault.Protection { addr; access });
     (match access with
-    | Fault.Write ->
-      if not seg.touched.(page) then begin
-        seg.touched.(page) <- true;
-        t.touched_pages <- t.touched_pages + 1
-      end
+    | Fault.Write -> mark_touched t seg page
     | Fault.Read -> ());
     seg
 
@@ -191,101 +205,213 @@ let write8 t addr v =
   let seg = check t addr Fault.Write in
   Bytes.set seg.data (addr - seg.base) (Char.chr (v land 0xFF))
 
-(* Fast path for word access: when the whole word lies in one segment and
-   one page, use Bytes.{get,set}_int64_le; otherwise fall back bytewise so
-   faults land on the exact offending byte. *)
-let word_fast t addr access =
-  tlb_touch t addr;
-  match find_segment t addr with
-  | Some seg
-    when addr + word_size <= seg.base + seg.len
-         && (addr - seg.base) / page_size = (addr + word_size - 1 - seg.base) / page_size
-    -> (
-    let page = (addr - seg.base) / page_size in
-    match (seg.prot.(page), access) with
-    | Read_write, _ | Read_only, Fault.Read ->
-      (match access with
-      | Fault.Write ->
-        if not seg.touched.(page) then begin
-          seg.touched.(page) <- true;
-          t.touched_pages <- t.touched_pages + 1
-        end
-      | Fault.Read -> ());
-      Some seg
-    | No_access, _ | Read_only, Fault.Write -> None)
-  | Some _ | None -> None
+(* --- bulk validation ---
+
+   Every multi-byte operation validates its whole range before mutating
+   anything: segment containment and page protection are checked page run
+   by page run, charging the TLB per page and the cache per line actually
+   spanned, in address order.  On an illegal byte the fault carries
+   exactly that byte's address, its page and line have been charged (as
+   the bytewise walk would have), and no data has moved — multi-byte
+   operations are atomic with respect to faults. *)
+
+(* A maximal run of the range that is contiguous in one segment's backing
+   store. *)
+type run = { rseg : segment; seg_off : int; buf_off : int; rlen : int }
+
+let validate t ~addr ~len access =
+  let fin = addr + len in
+  let rec seg_runs pos acc =
+    if pos >= fin then List.rev acc
+    else
+      match find_segment t pos with
+      | None ->
+        charge_byte t pos;
+        Fault.raise_fault (Fault.Unmapped { addr = pos; access })
+      | Some seg ->
+        let seg_end = seg.base + seg.len in
+        let run_end = min fin seg_end in
+        let first_page = (pos - seg.base) lsr page_shift in
+        let last_page = (run_end - 1 - seg.base) lsr page_shift in
+        for p = first_page to last_page do
+          let page_base = seg.base + (p lsl page_shift) in
+          let page_first = max pos page_base in
+          touch_page t (page_first lsr page_shift);
+          if not (prot_allows seg.prot.(p) access) then begin
+            touch_line t (page_first lsr cache_line_shift);
+            Fault.raise_fault (Fault.Protection { addr = page_first; access })
+          end;
+          let page_last = min (run_end - 1) (page_base + page_size - 1) in
+          charge_lines t ~first:page_first ~last:page_last
+        done;
+        seg_runs run_end
+          ({ rseg = seg; seg_off = pos - seg.base; buf_off = pos - addr;
+             rlen = run_end - pos }
+          :: acc)
+  in
+  if len = 0 then [] else seg_runs addr []
+
+(* Touched-page bookkeeping runs only after the whole range validated:
+   a faulting bulk write leaves no trace, not even in the stats. *)
+let mark_runs_touched t runs =
+  List.iter
+    (fun r ->
+      for p = r.seg_off lsr page_shift to (r.seg_off + r.rlen - 1) lsr page_shift do
+        mark_touched t r.rseg p
+      done)
+    runs
+
+(* --- word access ---
+
+   Fast path: the word lies entirely inside one segment (the overwhelming
+   majority of accesses).  Validates the one or two pages spanned, charges
+   pages and lines exactly as eight bytewise accesses would, then blits
+   through the segment's contiguous backing store — a word may cross a
+   page boundary inside a segment without falling off the fast path. *)
+
+let word_check t seg addr access =
+  let last = addr + word_size - 1 in
+  let p0 = (addr - seg.base) lsr page_shift in
+  let p1 = (last - seg.base) lsr page_shift in
+  touch_page t (addr lsr page_shift);
+  touch_line t (addr lsr cache_line_shift);
+  if not (prot_allows seg.prot.(p0) access) then
+    Fault.raise_fault (Fault.Protection { addr; access });
+  if p1 <> p0 then begin
+    (* The first byte of the second page is where a bytewise walk would
+       fault; charge and check it as such. *)
+    let q = seg.base + (p1 lsl page_shift) in
+    touch_page t (q lsr page_shift);
+    touch_line t (q lsr cache_line_shift);
+    if not (prot_allows seg.prot.(p1) access) then
+      Fault.raise_fault (Fault.Protection { addr = q; access })
+  end
+  else if last lsr cache_line_shift <> addr lsr cache_line_shift then
+    touch_line t (last lsr cache_line_shift);
+  match access with
+  | Fault.Write ->
+    mark_touched t seg p0;
+    if p1 <> p0 then mark_touched t seg p1
+  | Fault.Read -> ()
 
 let read64 t addr =
   t.reads <- t.reads + 1;
-  match word_fast t addr Fault.Read with
-  | Some seg -> Int64.to_int (Bytes.get_int64_le seg.data (addr - seg.base))
-  | None ->
-    let v = ref 0 in
-    for i = word_size - 1 downto 0 do
-      let seg = check t (addr + i) Fault.Read in
-      v := (!v lsl 8) lor Char.code (Bytes.get seg.data (addr + i - seg.base))
-    done;
-    !v
+  match find_segment t addr with
+  | Some seg when addr + word_size <= seg.base + seg.len ->
+    word_check t seg addr Fault.Read;
+    Int64.to_int (Bytes.get_int64_le seg.data (addr - seg.base))
+  | _ ->
+    (* Straddles the segment end or starts unmapped: the generic validator
+       faults at the exact first offending byte. *)
+    let runs = validate t ~addr ~len:word_size Fault.Read in
+    let buf = Bytes.create word_size in
+    List.iter (fun r -> Bytes.blit r.rseg.data r.seg_off buf r.buf_off r.rlen) runs;
+    Int64.to_int (Bytes.get_int64_le buf 0)
 
 let write64 t addr v =
   t.writes <- t.writes + 1;
-  match word_fast t addr Fault.Write with
-  | Some seg -> Bytes.set_int64_le seg.data (addr - seg.base) (Int64.of_int v)
-  | None ->
-    for i = 0 to word_size - 1 do
-      let seg = check t (addr + i) Fault.Write in
-      Bytes.set seg.data (addr + i - seg.base) (Char.chr ((v lsr (8 * i)) land 0xFF))
-    done
+  match find_segment t addr with
+  | Some seg when addr + word_size <= seg.base + seg.len ->
+    word_check t seg addr Fault.Write;
+    Bytes.set_int64_le seg.data (addr - seg.base) (Int64.of_int v)
+  | _ ->
+    (* All eight bytes validate before any mutates: a word straddling into
+       an unmapped or protected page never tears. *)
+    let runs = validate t ~addr ~len:word_size Fault.Write in
+    mark_runs_touched t runs;
+    let buf = Bytes.create word_size in
+    Bytes.set_int64_le buf 0 (Int64.of_int v);
+    List.iter (fun r -> Bytes.blit buf r.buf_off r.rseg.data r.seg_off r.rlen) runs
+
+(* --- bulk access --- *)
 
 let read_bytes t ~addr ~len =
   if len < 0 then invalid_arg "Mem.read_bytes: negative length";
+  let runs = validate t ~addr ~len Fault.Read in
+  t.reads <- t.reads + len;
   let buf = Bytes.create len in
-  for i = 0 to len - 1 do
-    t.reads <- t.reads + 1;
-    let seg = check t (addr + i) Fault.Read in
-    Bytes.set buf i (Bytes.get seg.data (addr + i - seg.base))
-  done;
+  List.iter (fun r -> Bytes.blit r.rseg.data r.seg_off buf r.buf_off r.rlen) runs;
   Bytes.unsafe_to_string buf
 
 let write_bytes t ~addr s =
-  String.iteri
-    (fun i c ->
-      t.writes <- t.writes + 1;
-      let seg = check t (addr + i) Fault.Write in
-      Bytes.set seg.data (addr + i - seg.base) c)
-    s
+  let len = String.length s in
+  let runs = validate t ~addr ~len Fault.Write in
+  t.writes <- t.writes + len;
+  mark_runs_touched t runs;
+  List.iter (fun r -> Bytes.blit_string s r.buf_off r.rseg.data r.seg_off r.rlen) runs
 
 let fill t ~addr ~len c =
-  for i = 0 to len - 1 do
-    t.writes <- t.writes + 1;
-    let seg = check t (addr + i) Fault.Write in
-    Bytes.set seg.data (addr + i - seg.base) c
-  done
+  if len < 0 then invalid_arg "Mem.fill: negative length";
+  let runs = validate t ~addr ~len Fault.Write in
+  t.writes <- t.writes + len;
+  mark_runs_touched t runs;
+  List.iter (fun r -> Bytes.fill r.rseg.data r.seg_off r.rlen c) runs
 
 let fill_random t ~addr ~len rng =
+  if len < 0 then invalid_arg "Mem.fill_random: negative length";
+  let runs = validate t ~addr ~len Fault.Write in
+  (* Same stream consumption as the historical bytewise fill: one u32 per
+     four bytes, least-significant byte first — replicas built from equal
+     seeds must still produce byte-identical heaps. *)
+  let buf = Bytes.create len in
   let i = ref 0 in
   while !i < len do
     let v = Dh_rng.Mwc.next_u32 rng in
     let n = min 4 (len - !i) in
     for j = 0 to n - 1 do
-      t.writes <- t.writes + 1;
-      let seg = check t (addr + !i + j) Fault.Write in
-      Bytes.set seg.data (addr + !i + j - seg.base) (Char.chr ((v lsr (8 * j)) land 0xFF))
+      Bytes.unsafe_set buf (!i + j) (Char.unsafe_chr ((v lsr (8 * j)) land 0xFF))
     done;
     i := !i + n
-  done
+  done;
+  t.writes <- t.writes + len;
+  mark_runs_touched t runs;
+  List.iter (fun r -> Bytes.blit buf r.buf_off r.rseg.data r.seg_off r.rlen) runs
 
-let cstring t addr =
+let cstring ?limit t addr =
   let buf = Buffer.create 16 in
-  let rec go a =
-    let c = read8 t a in
-    if c = 0 then Buffer.contents buf
-    else begin
-      Buffer.add_char buf (Char.chr c);
-      go (a + 1)
-    end
+  let limit = match limit with Some n -> n | None -> max_int in
+  (* Scan page by page inside the containing segment, validating each page
+     once and searching the backing bytes directly for the terminator. *)
+  let rec scan pos budget =
+    if budget <= 0 then Buffer.contents buf
+    else
+      match find_segment t pos with
+      | None ->
+        charge_byte t pos;
+        Fault.raise_fault (Fault.Unmapped { addr = pos; access = Fault.Read })
+      | Some seg ->
+        let page = (pos - seg.base) lsr page_shift in
+        touch_page t (pos lsr page_shift);
+        if not (prot_allows seg.prot.(page) Fault.Read) then begin
+          touch_line t (pos lsr cache_line_shift);
+          Fault.raise_fault (Fault.Protection { addr = pos; access = Fault.Read })
+        end;
+        let page_end =
+          min (seg.base + ((page + 1) lsl page_shift)) (seg.base + seg.len)
+        in
+        (* Compare rather than add: [budget] defaults to [max_int], and
+           [pos + budget] would overflow. *)
+        let stop = if budget < page_end - pos then pos + budget else page_end in
+        let off = pos - seg.base in
+        let n = stop - pos in
+        let nul =
+          match Bytes.index_from_opt seg.data off '\000' with
+          | Some k when k < off + n -> Some (k - off)
+          | Some _ | None -> None
+        in
+        (match nul with
+        | Some k ->
+          charge_lines t ~first:pos ~last:(pos + k);
+          t.reads <- t.reads + k + 1;
+          Buffer.add_subbytes buf seg.data off k;
+          Buffer.contents buf
+        | None ->
+          charge_lines t ~first:pos ~last:(stop - 1);
+          t.reads <- t.reads + n;
+          Buffer.add_subbytes buf seg.data off n;
+          scan stop (budget - n))
   in
-  go addr
+  scan addr limit
 
 let stats t =
   {

@@ -57,10 +57,19 @@ val mapped_bytes : t -> int
 (** {1 Access}
 
     All accesses fault ({!Fault.Error}) on unmapped addresses or protection
-    violations.  Multi-byte accesses fault if any byte of the access is
-    illegal, and are not atomic with respect to faults (leading bytes of a
-    partially-legal write may have been written — like real hardware, where
-    a struct write across a guard page traps midway). *)
+    violations.  Multi-byte accesses validate every byte of their range
+    {e before} touching memory: a fault carries the address of exactly the
+    first offending byte and the operation has had {e no} partial effect —
+    no bytes written, no pages newly marked touched (the exact-fault,
+    no-tearing discipline of checked memory models such as CHERI-C).  The
+    TLB and cache models are still charged for the pages and lines walked
+    up to and including the faulting byte, as a bytewise access sequence
+    would have been.
+
+    Cost-model charging rule: an access charges one TLB touch per page and
+    one cache touch per line its byte range spans — never more, never
+    fewer — so miss counts depend only on the address stream, not on
+    whether bytes moved one at a time or in bulk. *)
 
 val read8 : t -> int -> int
 val write8 : t -> int -> int -> unit
@@ -72,17 +81,24 @@ val read64 : t -> int -> int
 val write64 : t -> int -> int -> unit
 
 val read_bytes : t -> addr:int -> len:int -> string
+(** Segment-resident bulk read: validates the whole range once per page
+    run, then blits.  O(pages + lines + len/blit) rather than per-byte. *)
+
 val write_bytes : t -> addr:int -> string -> unit
 
 val fill : t -> addr:int -> len:int -> char -> unit
 
 val fill_random : t -> addr:int -> len:int -> Dh_rng.Mwc.t -> unit
 (** Fill with pseudo-random bytes — the heap/object randomization step of
-    DieHard's replicated mode (§4.1, §4.2). *)
+    DieHard's replicated mode (§4.1, §4.2).  Consumes one [next_u32] per
+    four bytes (LSB first), so replicas with equal seeds build
+    byte-identical heaps regardless of fill batching. *)
 
-val cstring : t -> int -> string
+val cstring : ?limit:int -> t -> int -> string
 (** [cstring t addr] reads a NUL-terminated string starting at [addr]
-    (faulting if it runs off mapped memory first). *)
+    (faulting if it runs off mapped memory first).  With [limit], reads at
+    most [limit] bytes and returns them unterminated if no NUL was found —
+    the bounded scan [strncpy]-style consumers need. *)
 
 (** {1 Accounting} *)
 
@@ -92,13 +108,14 @@ type stats = {
   mmaps : int;
   munmaps : int;
   tlb_misses : int;
-      (** Misses in a 64-entry FIFO TLB model fed by every access — the
-          cost model's handle on page-level locality, which is where the
-          paper locates DieHard's overhead (§4.5, §7.2.1). *)
+      (** Misses in a 64-entry direct-mapped TLB model charged once per
+          page an access spans — the cost model's handle on page-level
+          locality, which is where the paper locates DieHard's overhead
+          (§4.5, §7.2.1). *)
   cache_misses : int;
-      (** Misses in a 1024-line (64 B) FIFO data-cache model — charges
-          cold traversals such as GC marking and randomly-placed object
-          touches. *)
+      (** Misses in a 1024-line (64 B) direct-mapped data-cache model
+          charged once per line an access spans — charges cold traversals
+          such as GC marking and randomly-placed object touches. *)
 }
 
 val stats : t -> stats

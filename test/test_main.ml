@@ -5,6 +5,7 @@ let () =
     [
       ("rng", Test_rng.suite);
       ("simmem", Test_mem.suite);
+      ("bulk", Test_bulk.suite);
       ("alloc-base", Test_alloc_base.suite);
       ("freelist", Test_freelist.suite);
       ("gc", Test_gc.suite);
