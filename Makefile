@@ -1,6 +1,6 @@
 # Convenience targets for the DieHard reproduction.
 
-.PHONY: all build test bench bench-quick fuzz examples check clean
+.PHONY: all build test bench bench-quick bench-scaling fuzz examples check clean
 
 all: build
 
@@ -16,6 +16,12 @@ bench:
 bench-quick:
 	dune exec bench/main.exe -- quick
 
+# Parallel scaling sweep (jobs 1..8): records speedup/efficiency per
+# width into BENCH_throughput.json and fails if any parallel run's
+# output diverges from the sequential fingerprint.
+bench-scaling:
+	dune exec bench/throughput.exe -- --jobs 8
+
 fuzz:
 	dune exec bin/fuzz.exe -- --rounds 100 --ops 400
 
@@ -28,12 +34,15 @@ examples:
 	dune exec examples/heap_debugging.exe
 	dune exec examples/supervised_run.exe
 
-# Everything CI runs: full build, full test suite, and a smoke run of
-# the survival supervisor end to end.
+# Everything CI runs: full build, full test suite (including the
+# parallel determinism suite), a smoke run of the survival supervisor,
+# and a quick scaling-bench divergence check at --jobs 2.
 check:
 	dune build @all
 	dune runtest --force
+	dune exec test/test_main.exe -- test parallel
 	dune exec bin/diehard_cli.exe -- survive cfrac --retries 1
+	dune exec bench/throughput.exe -- --quick --jobs 2 --out /dev/null
 
 clean:
 	dune clean

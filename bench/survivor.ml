@@ -64,36 +64,59 @@ let workload ~label ~spec ~trials program =
     let success (r : Process.result) =
       r.Process.outcome = Process.Exited 0 && String.equal r.Process.output reference
     in
-    let bare_ok = ref 0 and sup_ok = ref 0 in
-    let incidents = ref [] in
-    for trial = 1 to trials do
-      let spec = { spec with Injector.seed = spec.Injector.seed + trial } in
-      let master = (trial * 7919) + 17 in
-      let inject _plan alloc = snd (Injector.wrap spec ~log alloc) in
-      (* bare: one DieHard heap, seed drawn exactly as the supervisor
-         draws its first. *)
-      let bare_seed = Seed.fresh (Seed.create ~master) in
-      let bare_alloc =
-        inject ()
-          (Diehard.Heap.allocator
-             (Diehard.Heap.create
-                ~config:(Diehard.Config.v ~heap_size:tight_heap ~seed:bare_seed ())
-                (Dh_mem.Mem.create ())))
-      in
-      if success (Program.run ~fuel program bare_alloc) then incr bare_ok;
-      (* supervised: same first throw, then the ladder. *)
-      let incident =
-        Supervisor.run
-          ~policy:{ Supervisor.default_policy with Supervisor.fuel }
-          ~config:(Diehard.Config.v ~heap_size:tight_heap ())
-          ~seed_pool:(Seed.create ~master) ~success ~wrap:inject program
-      in
-      (match incident.Supervisor.verdict with
-      | Supervisor.Survived _ -> incr sup_ok
-      | Supervisor.Gave_up -> ());
-      if incident.Supervisor.verdict <> Supervisor.Survived 0 then
-        incidents := (trial, incident) :: !incidents
-    done;
+    (* Trials are pure functions of their trial number (per-trial seed
+       pools, per-run heaps, shared read-only trace log), so they fan out
+       across domains; results are folded in trial order below. *)
+    let pool = Dh_parallel.Pool.create () in
+    let results =
+      Dh_parallel.Pool.map ~pool
+        (fun trial ->
+          let spec = { spec with Injector.seed = spec.Injector.seed + trial } in
+          let master = (trial * 7919) + 17 in
+          let inject _plan alloc = snd (Injector.wrap spec ~log alloc) in
+          (* bare: one DieHard heap, seed drawn exactly as the supervisor
+             draws its first. *)
+          let bare_seed = Seed.fresh (Seed.create ~master) in
+          let bare_alloc =
+            inject ()
+              (Diehard.Heap.allocator
+                 (Diehard.Heap.create
+                    ~config:(Diehard.Config.v ~heap_size:tight_heap ~seed:bare_seed ())
+                    (Dh_mem.Mem.create ())))
+          in
+          let bare = success (Program.run ~fuel program bare_alloc) in
+          (* supervised: same first throw, then the ladder. *)
+          let incident =
+            Supervisor.run
+              ~policy:{ Supervisor.default_policy with Supervisor.fuel }
+              ~config:(Diehard.Config.v ~heap_size:tight_heap ())
+              ~seed_pool:(Seed.create ~master) ~success ~wrap:inject program
+          in
+          (trial, bare, incident))
+        (List.init trials (fun i -> i + 1))
+    in
+    let bare_ok =
+      ref (List.length (List.filter (fun (_, bare, _) -> bare) results))
+    in
+    let sup_ok =
+      ref
+        (List.length
+           (List.filter
+              (fun (_, _, (i : Supervisor.incident)) ->
+                match i.Supervisor.verdict with
+                | Supervisor.Survived _ -> true
+                | Supervisor.Gave_up -> false)
+              results))
+    in
+    let incidents =
+      ref
+        (List.rev
+           (List.filter_map
+              (fun (trial, _, (i : Supervisor.incident)) ->
+                if i.Supervisor.verdict <> Supervisor.Survived 0 then Some (trial, i)
+                else None)
+              results))
+    in
     Report.table
       ~header:[ "runtime"; "success"; "rate" ]
       [

@@ -1,13 +1,16 @@
 (* Stand-alone throughput microbenchmark:
 
-     dune exec bench/throughput.exe -- [--quick] [--out PATH]
+     dune exec bench/throughput.exe -- [--quick] [--jobs N] [--out PATH]
 
    Prints a human summary and writes BENCH_throughput.json (or PATH).
-   The same benchmark is reachable as `diehard bench`. *)
+   The same benchmark is reachable as `diehard bench`.  Exits nonzero if
+   the bulk/bytewise twin-heap semantics diverge or if any parallel
+   scaling point fails to reproduce the sequential results. *)
 
 let () =
   let quick = ref false in
   let out = ref "BENCH_throughput.json" in
+  let jobs = ref 8 in
   let rec parse = function
     | [] -> ()
     | ("--quick" | "quick") :: rest ->
@@ -16,12 +19,20 @@ let () =
     | "--out" :: path :: rest ->
       out := path;
       parse rest
+    | ("--jobs" | "-j") :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some j when j >= 1 -> jobs := j
+      | _ ->
+        Printf.eprintf "throughput: --jobs wants a positive integer (got %S)\n" n;
+        exit 2);
+      parse rest
     | arg :: _ ->
-      Printf.eprintf "usage: throughput [--quick] [--out PATH] (got %S)\n" arg;
+      Printf.eprintf "usage: throughput [--quick] [--jobs N] [--out PATH] (got %S)\n"
+        arg;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let report = Dh_bench.Throughput.run ~quick:!quick () in
+  let report = Dh_bench.Throughput.run ~quick:!quick ~max_jobs:!jobs () in
   Dh_bench.Throughput.print report;
   Dh_bench.Throughput.write_json ~path:!out report;
   Printf.printf "wrote %s\n" !out;
@@ -29,5 +40,9 @@ let () =
          && report.Dh_bench.Throughput.copy.Dh_bench.Throughput.semantics_match)
   then begin
     prerr_endline "bulk/bytewise semantics mismatch";
+    exit 1
+  end;
+  if not (Dh_bench.Throughput.deterministic report) then begin
+    prerr_endline "parallel/sequential divergence in scaling bench";
     exit 1
   end

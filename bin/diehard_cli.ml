@@ -70,6 +70,16 @@ let fuel_arg =
   let doc = "Execution step budget (infinite-loop cut-off)." in
   Arg.(value & opt int 100_000_000 & info [ "fuel" ] ~docv:"STEPS" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domains used for multi-run fan-out (replica execution, injected trials, \
+     diagnosis overlap, scaling sweeps).  Seed planning makes the results \
+     identical for every value.  Defaults to this machine's recommended \
+     domain count."
+  in
+  Arg.(value & opt int (Dh_parallel.Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let read_input = function
   | None -> ""
   | Some "-" -> In_channel.input_all stdin
@@ -128,10 +138,10 @@ let replicas_arg =
   Arg.(value & opt int 3 & info [ "n"; "replicas" ] ~docv:"K" ~doc)
 
 let replicate_cmd =
-  let action prog replicas seed heap_size input fuel =
+  let action prog replicas seed heap_size input fuel jobs =
     let source = load_source prog in
     let program = Dh_lang.Interp.program_of_source ~name:prog source in
-    let config = Diehard.Config.v ~heap_size () in
+    let config = Diehard.Config.v ~heap_size ~jobs () in
     let report =
       Diehard.Replicated.run ~config ~replicas
         ~seed_pool:(Dh_rng.Seed.create ~master:seed)
@@ -162,7 +172,7 @@ let replicate_cmd =
   Cmd.v (Cmd.info "replicate" ~doc)
     Term.(
       const action $ prog_arg $ replicas_arg $ seed_arg $ heap_arg $ input_arg
-      $ fuel_arg)
+      $ fuel_arg $ jobs_arg)
 
 (* --- inject --- *)
 
@@ -176,7 +186,7 @@ let trials_arg =
   Arg.(value & opt int 10 & info [ "trials" ] ~docv:"N" ~doc)
 
 let inject_cmd =
-  let action prog mode trials alloc_kind seed heap_size input fuel =
+  let action prog mode trials alloc_kind seed heap_size input fuel jobs =
     let source = load_source prog in
     let program = Dh_lang.Interp.program_of_source ~name:prog source in
     let spec =
@@ -185,7 +195,7 @@ let inject_cmd =
       | `Overflow -> Dh_fault.Injector.paper_overflow
     in
     match
-      Dh_fault.Campaign.run ~input:(read_input input) ~fuel ~trials ~spec
+      Dh_fault.Campaign.run ~input:(read_input input) ~fuel ~jobs ~trials ~spec
         ~make_alloc:(fun ~trial ->
           make_allocator alloc_kind ~seed:(seed + trial) ~heap_size)
         program
@@ -201,7 +211,7 @@ let inject_cmd =
   Cmd.v (Cmd.info "inject" ~doc)
     Term.(
       const action $ prog_arg $ mode_arg $ trials_arg $ allocator_arg $ seed_arg
-      $ heap_arg $ input_arg $ fuel_arg)
+      $ heap_arg $ input_arg $ fuel_arg $ jobs_arg)
 
 (* --- survive --- *)
 
@@ -223,7 +233,7 @@ let no_diagnose_arg =
 
 let survive_cmd =
   let action prog retries backoff no_rescue no_diagnose policy_kind seed heap_size
-      input fuel =
+      input fuel jobs =
     let source = load_source prog in
     let program = Dh_lang.Interp.program_of_source ~name:prog source in
     let policy =
@@ -237,7 +247,7 @@ let survive_cmd =
     in
     let incident =
       Diehard.Supervisor.run ~policy
-        ~config:(Diehard.Config.v ~heap_size ())
+        ~config:(Diehard.Config.v ~heap_size ~jobs ())
         ~seed_pool:(Dh_rng.Seed.create ~master:seed)
         ~input:(read_input input) ~policy_kind program
     in
@@ -260,7 +270,8 @@ let survive_cmd =
   Cmd.v (Cmd.info "survive" ~doc)
     Term.(
       const action $ prog_arg $ retries_arg $ backoff_arg $ no_rescue_arg
-      $ no_diagnose_arg $ policy_arg $ seed_arg $ heap_arg $ input_arg $ fuel_arg)
+      $ no_diagnose_arg $ policy_arg $ seed_arg $ heap_arg $ input_arg $ fuel_arg
+      $ jobs_arg)
 
 (* --- check --- *)
 
@@ -339,8 +350,8 @@ let diagnose_cmd =
 (* --- bench --- *)
 
 let bench_cmd =
-  let action quick out =
-    let report = Dh_bench.Throughput.run ~quick () in
+  let action quick out jobs =
+    let report = Dh_bench.Throughput.run ~quick ~max_jobs:jobs () in
     Dh_bench.Throughput.print report;
     (match out with
     | Some path ->
@@ -350,6 +361,7 @@ let bench_cmd =
     exit
       (if report.Dh_bench.Throughput.fill.Dh_bench.Throughput.semantics_match
           && report.Dh_bench.Throughput.copy.Dh_bench.Throughput.semantics_match
+          && Dh_bench.Throughput.deterministic report
        then 0
        else 1)
   in
@@ -361,12 +373,17 @@ let bench_cmd =
     let doc = "Write the JSON report to $(docv)." in
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"PATH" ~doc)
   in
+  let bench_jobs_arg =
+    let doc = "Upper end of the scaling sweep (sweeps {1,2,4,8} up to $(docv))." in
+    Arg.(value & opt int 8 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
   let doc =
     "Measure simulator throughput: allocation rates, bulk vs bytewise \
      fill/copy bandwidth (with a differential semantics check), GC mark rate, \
-     and bitmap sweep rate."
+     bitmap sweep rate, and parallel scaling of replicated runs and fault \
+     campaigns (with a parallel-equals-sequential determinism check)."
   in
-  Cmd.v (Cmd.info "bench" ~doc) Term.(const action $ quick_arg $ out_arg)
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const action $ quick_arg $ out_arg $ bench_jobs_arg)
 
 let main_cmd =
   let doc = "DieHard (PLDI 2006) reproduction: probabilistic memory safety, simulated" in

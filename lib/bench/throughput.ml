@@ -1,5 +1,7 @@
 module Mem = Dh_mem.Mem
 module Allocator = Dh_alloc.Allocator
+module Process = Dh_mem.Process
+module Program = Dh_alloc.Program
 
 type rate = { name : string; ops : int; bytes : int; seconds : float }
 
@@ -12,6 +14,21 @@ type comparison = {
   semantics_match : bool;
 }
 
+type scaling_point = {
+  sp_jobs : int;
+  sp_seconds : float;
+  sp_speedup : float;
+  sp_efficiency : float;
+}
+
+type scaling = {
+  sname : string;
+  units : int;
+  cores : int;
+  points : scaling_point list;
+  deterministic : bool;
+}
+
 type report = {
   quick : bool;
   alloc : rate list;
@@ -19,6 +36,7 @@ type report = {
   copy : comparison;
   gc_mark : rate;
   bitmap_sweep : rate;
+  scaling : scaling list;
 }
 
 let time f =
@@ -237,9 +255,135 @@ let bitmap_bench ~quick =
   in
   { name = "bitmap-sweep"; ops = !visited; bytes = reps * (bits / 8); seconds }
 
+(* --- parallel scaling (Dh_parallel over replicas and campaigns) --- *)
+
+(* The paper runs 16 replicas on a 16-way SMP for roughly one run's
+   wall-clock (§6); these benches measure how close the Domains-based
+   execution engine gets on this machine.  Every point re-checks the
+   determinism contract: the parallel run's results must equal the
+   jobs=1 run's bit for bit, or the whole bench fails. *)
+
+(* A malloc/free churn with data dependencies, heavy enough that one run
+   dwarfs a domain spawn.  Output is a deterministic mix of values read
+   back from the heap, so replicas agree and divergence is detectable. *)
+let churn_program ~ops =
+  Program.make ~name:"churn" (fun ctx ->
+      let a = ctx.Program.alloc in
+      let mem = a.Allocator.mem in
+      let live = Array.make 64 0 in
+      let h = ref 0x9E3779B9 in
+      for i = 0 to ops - 1 do
+        let slot = i land 63 in
+        if live.(slot) <> 0 then begin
+          h := !h lxor Mem.read64 mem live.(slot);
+          a.Allocator.free live.(slot);
+          live.(slot) <- 0
+        end;
+        match a.Allocator.malloc (16 + ((i land 7) * 24)) with
+        | Some p ->
+          Mem.write64 mem p ((i * 0x61C88647) lxor !h);
+          live.(slot) <- p
+        | None -> ()
+      done;
+      Process.Out.printf ctx.Program.out "h=%d" !h)
+
+let small_heap = 12 * 64 * 1024
+
+let jobs_sweep ~max_jobs =
+  if max_jobs < 1 then invalid_arg "Throughput: max_jobs must be >= 1";
+  List.sort_uniq compare (max_jobs :: List.filter (fun j -> j <= max_jobs) [ 1; 2; 4; 8 ])
+
+(* Time [run_with ~jobs] across the sweep; [fingerprint] of every
+   parallel run must equal the sequential one's. *)
+let scaling_bench ~sname ~units ~max_jobs ~run_with ~fingerprint =
+  let cores = Dh_parallel.Pool.default_jobs () in
+  let reference = ref None in
+  let deterministic = ref true in
+  let points =
+    List.map
+      (fun jobs ->
+        let result = ref None in
+        let seconds = time (fun () -> result := Some (run_with ~jobs)) in
+        let fp = fingerprint (Option.get !result) in
+        (match !reference with
+        | None -> reference := Some fp
+        | Some r -> if fp <> r then deterministic := false);
+        (jobs, seconds))
+      (jobs_sweep ~max_jobs)
+  in
+  let base =
+    match points with (1, s) :: _ -> s | _ -> snd (List.hd points)
+  in
+  {
+    sname;
+    units;
+    cores;
+    deterministic = !deterministic;
+    points =
+      List.map
+        (fun (jobs, seconds) ->
+          let speedup = base /. seconds in
+          {
+            sp_jobs = jobs;
+            sp_seconds = seconds;
+            sp_speedup = speedup;
+            (* Per-core efficiency on THIS machine: extra domains beyond
+               the core count cannot add speedup, so they are not held
+               against the engine. *)
+            sp_efficiency = speedup /. float_of_int (max 1 (min jobs cores));
+          })
+        points;
+  }
+
+let replicated_scaling ~quick ~max_jobs =
+  let replicas = 8 in
+  let program = churn_program ~ops:(if quick then 4_000 else 30_000) in
+  let run_with ~jobs =
+    Diehard.Replicated.run
+      ~config:(Diehard.Config.v ~heap_size:small_heap ~jobs ())
+      ~replicas
+      ~seed_pool:(Dh_rng.Seed.create ~master:0xD1E)
+      program
+  in
+  scaling_bench ~sname:"replicated-8way" ~units:replicas ~max_jobs ~run_with
+    ~fingerprint:(fun (r : Diehard.Replicated.report) ->
+      ( r.Diehard.Replicated.verdict,
+        r.Diehard.Replicated.output,
+        r.Diehard.Replicated.barriers,
+        List.map
+          (fun (rep : Diehard.Replicated.replica_report) ->
+            ( rep.Diehard.Replicated.id,
+              rep.Diehard.Replicated.seed,
+              Process.outcome_to_string rep.Diehard.Replicated.outcome,
+              rep.Diehard.Replicated.eliminated ))
+          r.Diehard.Replicated.replicas ))
+
+let campaign_scaling ~quick ~max_jobs =
+  let trials = if quick then 64 else 1_000 in
+  let program = churn_program ~ops:(if quick then 500 else 2_000) in
+  let spec =
+    { Dh_fault.Injector.paper_dangling with
+      Dh_fault.Injector.dangling_rate = 0.5;
+      dangling_distance = 8;
+      seed = 0xFA57
+    }
+  in
+  let make_alloc ~trial =
+    let mem = Mem.create () in
+    Diehard.Heap.allocator
+      (Diehard.Heap.create
+         ~config:(Diehard.Config.v ~heap_size:small_heap ~seed:(trial + 1) ())
+         mem)
+  in
+  let run_with ~jobs =
+    Dh_fault.Campaign.run_exn ~jobs ~trials ~spec ~make_alloc program
+  in
+  scaling_bench ~sname:"campaign" ~units:trials ~max_jobs ~run_with
+    ~fingerprint:(fun (t : Dh_fault.Campaign.tally) -> t)
+
 (* --- driver --- *)
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?(max_jobs = 8) () =
   {
     quick;
     alloc = alloc_benches ~quick;
@@ -247,7 +391,11 @@ let run ?(quick = false) () =
     copy = copy_bench ~quick;
     gc_mark = gc_mark_bench ~quick;
     bitmap_sweep = bitmap_bench ~quick;
+    scaling =
+      [ replicated_scaling ~quick ~max_jobs; campaign_scaling ~quick ~max_jobs ];
   }
+
+let deterministic r = List.for_all (fun s -> s.deterministic) r.scaling
 
 (* --- output --- *)
 
@@ -265,6 +413,19 @@ let json_comparison b c =
   Printf.bprintf b ",\"speedup\":%.2f,\"semantics_match\":%b}" c.speedup
     c.semantics_match
 
+let json_scaling b s =
+  Printf.bprintf b
+    "{\"name\":%S,\"units\":%d,\"cores\":%d,\"deterministic\":%b,\"points\":["
+    s.sname s.units s.cores s.deterministic;
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b
+        "{\"jobs\":%d,\"seconds\":%.6f,\"speedup\":%.2f,\"efficiency\":%.2f}"
+        p.sp_jobs p.sp_seconds p.sp_speedup p.sp_efficiency)
+    s.points;
+  Buffer.add_string b "]}"
+
 let to_json r =
   let b = Buffer.create 1024 in
   Printf.bprintf b "{\"bench\":\"throughput\",\"quick\":%b,\"alloc\":[" r.quick;
@@ -281,7 +442,13 @@ let to_json r =
   json_rate b r.gc_mark;
   Printf.bprintf b ",\"bitmap_sweep\":";
   json_rate b r.bitmap_sweep;
-  Buffer.add_string b "}\n";
+  Printf.bprintf b ",\"scaling\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      json_scaling b s)
+    r.scaling;
+  Buffer.add_string b "]}\n";
   Buffer.contents b
 
 let write_json ~path r =
@@ -306,4 +473,17 @@ let print r =
   pc r.copy;
   Printf.printf "  gc-mark %14.1f MB/s\n" (mb_per_sec r.gc_mark);
   Printf.printf "  bitmap-sweep %9.0f Mbit/s scanned\n"
-    (float_of_int r.bitmap_sweep.bytes *. 8. /. 1e6 /. r.bitmap_sweep.seconds)
+    (float_of_int r.bitmap_sweep.bytes *. 8. /. 1e6 /. r.bitmap_sweep.seconds);
+  List.iter
+    (fun s ->
+      Printf.printf "  scaling %-16s (%d units, %d cores) %s\n" s.sname s.units
+        s.cores
+        (if s.deterministic then "deterministic"
+         else "NONDETERMINISTIC (parallel != sequential)");
+      List.iter
+        (fun p ->
+          Printf.printf
+            "    jobs %2d  %8.3f s  speedup %5.2fx  efficiency %5.2f\n" p.sp_jobs
+            p.sp_seconds p.sp_speedup p.sp_efficiency)
+        s.points)
+    r.scaling

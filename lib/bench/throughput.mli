@@ -11,7 +11,12 @@
       semantics check (same contents, same read/write counts, same
       TLB/cache miss counts, same touched pages on twin heaps);
     - GC mark rate over a pointer chain (bulk payload reads);
-    - [Bitmap.iter_clear] sweep rate over a nearly-full bitmap.
+    - [Bitmap.iter_clear] sweep rate over a nearly-full bitmap;
+    - parallel scaling of the {!Dh_parallel} execution engine: an 8-way
+      replicated run and a fault-injection campaign, swept over
+      [jobs ∈ {1, 2, 4, 8}], recording wall-clock speedup and per-core
+      efficiency, and re-checking at every point that the parallel
+      results are identical to the sequential ones.
 
     Results go to stdout ({!print}) and to a small hand-rolled JSON file
     ({!write_json}, no external JSON dependency) consumed by CI's bench
@@ -36,6 +41,28 @@ type comparison = {
           operation and the equivalent bytewise loop *)
 }
 
+type scaling_point = {
+  sp_jobs : int;  (** Pool width this point ran with. *)
+  sp_seconds : float;
+  sp_speedup : float;  (** jobs=1 seconds / this point's seconds. *)
+  sp_efficiency : float;
+      (** Speedup per core actually usable at this width:
+          [speedup / min jobs cores] — 1.0 is perfect scaling; on a
+          single-core machine every width scores ~1.0 because no width
+          can beat sequential. *)
+}
+
+type scaling = {
+  sname : string;  (** "replicated-8way" or "campaign". *)
+  units : int;  (** Replicas or trials fanned out. *)
+  cores : int;  (** [Domain.recommended_domain_count] at measurement. *)
+  points : scaling_point list;  (** In increasing-jobs order. *)
+  deterministic : bool;
+      (** Every parallel point reproduced the sequential results exactly
+          (verdict, output, roster for replication; the full tally
+          including the per-trial list for campaigns). *)
+}
+
 type report = {
   quick : bool;
   alloc : rate list;
@@ -43,11 +70,18 @@ type report = {
   copy : comparison;
   gc_mark : rate;
   bitmap_sweep : rate;
+  scaling : scaling list;
 }
 
-val run : ?quick:bool -> unit -> report
+val run : ?quick:bool -> ?max_jobs:int -> unit -> report
 (** Run every benchmark.  [quick] (default false) shrinks sizes and
-    repetitions to CI-smoke scale (well under a second). *)
+    repetitions to CI-smoke scale (well under a second).  [max_jobs]
+    (default 8) caps the scaling sweep — the sweep is
+    [{1, 2, 4, 8} ∩ [1, max_jobs]] plus [max_jobs] itself. *)
+
+val deterministic : report -> bool
+(** All scaling benches reproduced sequential results under parallelism —
+    the bit CI's bench-smoke job gates on. *)
 
 val ops_per_sec : rate -> float
 

@@ -1,22 +1,31 @@
 module Size_class = Dh_alloc.Size_class
 
-type t = { multiplier : int; heap_size : int; replicated : bool; seed : int }
+type t = {
+  multiplier : int;
+  heap_size : int;
+  replicated : bool;
+  seed : int;
+  jobs : int;
+}
 
 let validate t =
   if t.multiplier < 2 then invalid_arg "Config: multiplier must be >= 2";
+  if t.jobs < 1 then invalid_arg "Config: jobs must be >= 1";
   let region = t.heap_size / Size_class.count in
   if region < Size_class.max_size * t.multiplier then
     invalid_arg "Config: heap too small for the largest size class";
   t
 
 let default =
-  validate { multiplier = 2; heap_size = 24 lsl 20; replicated = false; seed = 1 }
+  validate
+    { multiplier = 2; heap_size = 24 lsl 20; replicated = false; seed = 1; jobs = 1 }
 
 let paper_default = validate { default with heap_size = 384 lsl 20 }
 
 let v ?(multiplier = default.multiplier) ?(heap_size = default.heap_size)
-    ?(replicated = default.replicated) ?(seed = default.seed) () =
-  validate { multiplier; heap_size; replicated; seed }
+    ?(replicated = default.replicated) ?(seed = default.seed)
+    ?(jobs = default.jobs) () =
+  validate { multiplier; heap_size; replicated; seed; jobs }
 
 let region_size t =
   let raw = t.heap_size / Size_class.count in

@@ -18,11 +18,20 @@ type t = {
           required to detect uninitialized reads across replicas (§4.1,
           §4.2).  Off in stand-alone mode. *)
   seed : int;  (** Seed for the allocator's {!Dh_rng.Mwc} generator. *)
+  jobs : int;
+      (** Domains used by the multi-run drivers (replica fan-out,
+          injection campaigns, supervisor diagnosis overlap) via
+          {!Dh_parallel.Pool}.  Results are seed-planned to be identical
+          for every value; [1] (the default) never spawns a domain.  A
+          single run's heap is inherently sequential — this knob only
+          parallelizes {e across} runs, mirroring the paper's
+          process-per-replica model (§5). *)
 }
 
 val default : t
 (** [M = 2], 24 MiB heap (a simulation-friendly scaling of the paper's
-    384 MB default — same M, same twelve regions), stand-alone, seed 1. *)
+    384 MB default — same M, same twelve regions), stand-alone, seed 1,
+    1 job. *)
 
 val paper_default : t
 (** The paper's experimental configuration: 384 MB heap, [M = 2]. *)
@@ -32,11 +41,13 @@ val v :
   ?heap_size:int ->
   ?replicated:bool ->
   ?seed:int ->
+  ?jobs:int ->
   unit ->
   t
 (** Build a configuration, defaulting missing fields from {!default}.
-    Raises [Invalid_argument] if [multiplier < 2] or the heap is too small
-    to give each region one object of the largest size class. *)
+    Raises [Invalid_argument] if [multiplier < 2], [jobs < 1], or the
+    heap is too small to give each region one object of the largest size
+    class. *)
 
 val region_size : t -> int
 (** Bytes per size-class region ([heap_size / 12], page-rounded down). *)

@@ -42,7 +42,11 @@ let run ?(config = Config.default) ?(replicas = 3)
     ?(seed_pool = Dh_rng.Seed.create ~master:config.Config.seed) ?(input = "")
     ?(now = 0) ?fuel ?(replace_failed = 0) program =
   if replicas < 1 || replicas = 2 then
-    invalid_arg "Replicated.run: need one replica or at least three (§6)";
+    invalid_arg
+      "Replicated.run: need one replica or at least three — with exactly two, \
+       disagreeing replicas split 1-1 and the voter has no majority to commit \
+       (the paper's quorum argument, \xc2\xa76); pass --replicas 1 or --replicas 3 \
+       to `diehard replicate`";
   (* Spawn a replica: run it to completion and precompute its barrier
      chunks (see the .mli for why this is equivalent to the paper's
      concurrent processes). *)
@@ -58,7 +62,24 @@ let run ?(config = Config.default) ?(replicas = 3)
   in
   let roster : (int * int * Process.outcome) list ref = ref [] in
   let eliminated : (int, cause) Hashtbl.t = Hashtbl.create 8 in
-  let next_id = ref 0 in
+  (* Fan the initial replicas out across domains.  Replica i's seed is
+     frozen in the plan before any replica runs, and the pool returns
+     results in replica-id order, so the roster and every vote below are
+     identical for any [config.jobs]. *)
+  let plan = Dh_parallel.Seed_plan.make seed_pool ~tasks:replicas in
+  let pool = Dh_parallel.Pool.create ~jobs:config.Config.jobs () in
+  let spawned =
+    Dh_parallel.Seed_plan.map ~pool plan (fun ~seed rid -> spawn rid seed)
+  in
+  Array.iteri
+    (fun rid (_, result) ->
+      roster :=
+        (rid, Dh_parallel.Seed_plan.seed plan rid, result.Process.outcome) :: !roster)
+    spawned;
+  (* Replacements are spawned one at a time from inside the (sequential)
+     barrier protocol; their seeds continue the pool's stream after the
+     plan's block, exactly as the pre-parallel code drew them. *)
+  let next_id = ref replicas in
   let new_replica () =
     let rid = !next_id in
     incr next_id;
@@ -67,7 +88,7 @@ let run ?(config = Config.default) ?(replicas = 3)
     roster := (rid, seed, result.Process.outcome) :: !roster;
     live
   in
-  let live = ref (List.init replicas (fun _ -> new_replica ())) in
+  let live = ref (Array.to_list (Array.map fst spawned)) in
   let committed = Buffer.create 1024 in
   let committed_chunks = ref [] in  (* newest first *)
   let replacements_left = ref replace_failed in

@@ -10,7 +10,14 @@
     replicas to completion and then replays the barrier protocol over
     their captured outputs — observationally equivalent for programs whose
     only interaction is stdin/stdout, which is exactly the class the
-    paper's replicated mode targets. *)
+    paper's replicated mode targets.
+
+    With [config.jobs > 1] the replicas execute on separate OCaml
+    domains through {!Dh_parallel.Pool} — the paper's process-level
+    parallelism (§6's 16-way SMP runs) made real.  Seeds are assigned by
+    a {!Dh_parallel.Seed_plan} frozen before the fan-out and the voter
+    consumes reports in replica-id order, so the report is byte-identical
+    for every [jobs] setting. *)
 
 type cause =
   | Voted_out of int  (** Killed by the voter at this barrier index. *)

@@ -131,12 +131,36 @@ let run ?(policy = default_policy) ?(config = Config.default)
     in
     (Canary.diagnose ?fault canary, Canary.violations canary, fuel_burned)
   in
+  (* The whole ladder's seeds are frozen up front (attempts 0 through
+     max_retries + 1, the last being the rescue rung): seed assignment
+     never depends on how far the ladder climbs or on what runs
+     concurrently.  [split] returns exactly the draws the old
+     one-[fresh]-per-rung code made, so incidents are unchanged. *)
+  let seeds = Seed.split ~n:(policy.max_retries + 2) seed_pool in
+  let diag_job : (unit -> Canary.diagnosis * Canary.violation list * int) option ref =
+    ref None
+  in
   let rec ladder attempt acc =
     let mode = if attempt <= policy.max_retries then Randomized else Rescue in
     let plan =
-      plan_for ~config ~backoff:policy.backoff ~seed:(Seed.fresh seed_pool) ~mode attempt
+      plan_for ~config ~backoff:policy.backoff ~seed:seeds.(attempt) ~mode attempt
     in
     let report, result = attempt_under plan in
+    (* Kick the diagnosis replay off as soon as the first attempt fails:
+       with jobs > 1 it runs on its own domain, overlapped with the
+       remaining rungs (it shares no state with them); sequentially it is
+       deferred to the end as before.  The incident is identical either
+       way. *)
+    if attempt = 0 && (not report.ok) && policy.diagnose then begin
+      let replay () = diagnose_replay plan report in
+      diag_job :=
+        Some
+          (if config.Config.jobs > 1 then begin
+             let d = Domain.spawn replay in
+             fun () -> Domain.join d
+           end
+           else replay)
+    end;
     let acc = report :: acc in
     if report.ok then (List.rev acc, Survived attempt, Some result.Process.output)
     else if mode = Rescue || ((not policy.rescue) && attempt >= policy.max_retries)
@@ -145,11 +169,11 @@ let run ?(policy = default_policy) ?(config = Config.default)
   in
   let attempts, verdict, output = ladder 0 [] in
   let diagnosis, canary_violations, diag_fuel =
-    match (attempts, policy.diagnose) with
-    | first :: _, true when not first.ok ->
-      let d, v, f = diagnose_replay first.plan first in
+    match !diag_job with
+    | Some join ->
+      let d, v, f = join () in
       (Some d, v, f)
-    | _ -> (None, [], 0)
+    | None -> (None, [], 0)
   in
   {
     program = program.Program.name;

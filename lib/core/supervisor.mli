@@ -101,7 +101,15 @@ val run :
     interposes on every attempt's allocator {e including} the canary
     replay — fault-injection benchmarks use it to re-inject the same
     faults (keyed off their own seed, not the plan's) into every rung of
-    the ladder. *)
+    the ladder.
+
+    Every rung's seed is drawn from [seed_pool] with one up-front
+    {!Dh_rng.Seed.split}, so attempt [i] always runs under the pool's
+    [i]-th seed no matter how the ladder unfolds.  With [config.jobs > 1]
+    the canary diagnosis replay runs on its own domain, overlapped with
+    the retry rungs; [success] and [wrap] must then be safe to call from
+    two domains at once (both are in practice pure constructors over
+    per-run state). *)
 
 val pp_incident : Format.formatter -> incident -> unit
 (** Multi-line, one row per attempt, plus the diagnosis. *)

@@ -29,7 +29,8 @@ let error_to_string (Tracing_failed { outcome; _ }) =
   Printf.sprintf "tracing run did not complete cleanly (%s)"
     (Process.outcome_to_string outcome)
 
-let run ?(input = "") ?(fuel = 50_000_000) ~trials ~spec ~make_alloc program =
+let run ?(input = "") ?(fuel = 50_000_000) ?(jobs = 1) ~trials ~spec ~make_alloc
+    program =
   (* 1. tracing run: obtain the allocation log *)
   let tracer, traced_alloc = Trace.wrap (make_alloc ~trial:0) in
   let trace_result = Program.run ~input ~fuel program traced_alloc in
@@ -37,16 +38,24 @@ let run ?(input = "") ?(fuel = 50_000_000) ~trials ~spec ~make_alloc program =
   | Process.Exited 0 ->
     let log = Trace.lifetimes tracer in
     let reference = trace_result.Process.output in
-    (* 2. injected trials *)
+    (* 2. injected trials.  Each trial is a pure function of its trial
+       number (injection seed [spec.seed + trial], fresh allocator, the
+       shared read-only log), so trials fan out across domains and the
+       classifications come back in trial order — the tally is identical
+       for every [jobs]. *)
+    let pool = Dh_parallel.Pool.create ~jobs () in
     let runs =
-      List.init trials (fun i ->
-          let trial = i + 1 in
-          let alloc = make_alloc ~trial in
-          let _, injected =
-            Injector.wrap { spec with Injector.seed = spec.Injector.seed + trial } ~log alloc
-          in
-          let result = Program.run ~input ~fuel program injected in
-          classify ~reference result)
+      Array.to_list
+        (Dh_parallel.Pool.init ~pool trials (fun i ->
+             let trial = i + 1 in
+             let alloc = make_alloc ~trial in
+             let _, injected =
+               Injector.wrap
+                 { spec with Injector.seed = spec.Injector.seed + trial }
+                 ~log alloc
+             in
+             let result = Program.run ~input ~fuel program injected in
+             classify ~reference result))
     in
     let count c = List.length (List.filter (fun x -> x = c) runs) in
     Ok
@@ -61,8 +70,8 @@ let run ?(input = "") ?(fuel = 50_000_000) ~trials ~spec ~make_alloc program =
       }
   | outcome -> Error (Tracing_failed { outcome; output = trace_result.Process.output })
 
-let run_exn ?input ?fuel ~trials ~spec ~make_alloc program =
-  match run ?input ?fuel ~trials ~spec ~make_alloc program with
+let run_exn ?input ?fuel ?jobs ~trials ~spec ~make_alloc program =
+  match run ?input ?fuel ?jobs ~trials ~spec ~make_alloc program with
   | Ok tally -> tally
   | Error e -> failwith ("Campaign: " ^ error_to_string e)
 

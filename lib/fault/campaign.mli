@@ -49,6 +49,7 @@ val error_to_string : error -> string
 val run :
   ?input:string ->
   ?fuel:int ->
+  ?jobs:int ->
   trials:int ->
   spec:Injector.spec ->
   make_alloc:(trial:int -> Dh_alloc.Allocator.t) ->
@@ -60,11 +61,20 @@ val run :
     1..n for injection (each receives injection seed [spec.seed + trial]
     so runs differ, as the paper's ten runs do).  Returns [Error] when
     the tracing run fails, so drivers running many campaigns can report
-    the broken one and keep going. *)
+    the broken one and keep going.
+
+    [jobs] (default 1) fans the injected trials out across that many
+    domains via {!Dh_parallel.Pool}; the tracing run stays sequential and
+    classifications are merged in trial order, so the tally — including
+    the per-trial [runs] list — is identical for every [jobs] value.
+    When [jobs > 1], [make_alloc] must be safe to call from concurrent
+    domains (i.e. each call builds fully private state — a fresh
+    [Mem.t]-backed allocator satisfies this). *)
 
 val run_exn :
   ?input:string ->
   ?fuel:int ->
+  ?jobs:int ->
   trials:int ->
   spec:Injector.spec ->
   make_alloc:(trial:int -> Dh_alloc.Allocator.t) ->

@@ -1,0 +1,63 @@
+type t = { jobs : int }
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  { jobs }
+
+let jobs t = t.jobs
+
+(* The exact sequential path: apply in index order, stop at the first
+   exception — [jobs = 1] must behave as if the pool did not exist. *)
+let seq_map_array f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n (f items.(0)) in
+    for i = 1 to n - 1 do
+      results.(i) <- f items.(i)
+    done;
+    results
+  end
+
+(* Chunked self-scheduling: workers claim [chunk]-sized index ranges off
+   a shared atomic cursor.  No work stealing, no channels — tasks in
+   this codebase are coarse (whole program runs), so the only balancing
+   needed is chunks small enough that a slow item does not strand a
+   domain's whole static share. *)
+let par_map_array ~jobs f items =
+  let n = Array.length items in
+  let results = Array.make n None in
+  let errors = Array.make n None in
+  let next = Atomic.make 0 in
+  let chunk = max 1 (n / (jobs * 8)) in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      let start = Atomic.fetch_and_add next chunk in
+      if start >= n then continue := false
+      else
+        for i = start to min n (start + chunk) - 1 do
+          match f items.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some e
+        done
+    done
+  in
+  let helpers = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join helpers;
+  Array.iter (function Some e -> raise e | None -> ()) errors;
+  Array.map (function Some v -> v | None -> assert false) results
+
+let map_array ~pool f items =
+  if pool.jobs = 1 || Array.length items <= 1 then seq_map_array f items
+  else par_map_array ~jobs:pool.jobs f items
+
+let map ~pool f items = Array.to_list (map_array ~pool f (Array.of_list items))
+
+let init ~pool n f =
+  if n < 0 then invalid_arg "Pool.init: negative length";
+  map_array ~pool f (Array.init n Fun.id)

@@ -1,0 +1,51 @@
+(** A fixed-width domain pool for embarrassingly parallel fan-out.
+
+    The paper's replicated runtime runs its k replicas as concurrent
+    processes and reports that on idle cores a 16-way run costs about
+    one run's wall-clock (§6, Fig. 4–5).  Every execution in this
+    reproduction — a replica, an injected trial, a Monte-Carlo sample —
+    owns a private {!Dh_mem.Mem.t} address space and a per-heap RNG, so
+    runs share no mutable state and map directly onto OCaml 5 domains.
+
+    The pool is deliberately work-stealing-free: items are claimed in
+    chunks off a shared cursor.  Tasks here are coarse (whole program
+    runs), so chunked self-scheduling balances well without queues.
+
+    {b Determinism contract}: [map ~pool f items] returns results in
+    item order and [f] receives exactly the same arguments regardless of
+    [jobs] — any seed material must be assigned {e before} the fan-out
+    (see {!Seed_plan} and {!Dh_rng.Seed.split}).  Given a pure [f], the
+    result is byte-identical for every [jobs] setting.
+
+    {b Safety contract}: [f] must not touch mutable state shared with
+    other items (each call should build its own [Mem.t], heap, and
+    RNGs — the natural shape of every run in this codebase). *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] builds a pool that runs at most [jobs] items
+    concurrently.  Default: [Domain.recommended_domain_count ()].
+    [jobs = 1] selects the exact sequential path (no domains are ever
+    spawned).  Raises [Invalid_argument] if [jobs < 1]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the pool's default width. *)
+
+val jobs : t -> int
+(** The width this pool was created with. *)
+
+val map : pool:t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~pool f items] applies [f] to every item, running up to
+    [jobs pool] applications on concurrent domains, and returns the
+    results in item order.  Exceptions are captured per item; once every
+    item has been attempted, the exception of the {e lowest-indexed}
+    failing item is re-raised — the same exception the sequential path
+    surfaces.  With [jobs = 1] (or fewer than two items) this is plain
+    sequential iteration in index order. *)
+
+val map_array : pool:t -> ('a -> 'b) -> 'a array -> 'b array
+(** {!map} over arrays (the list version is a wrapper around this). *)
+
+val init : pool:t -> int -> (int -> 'a) -> 'a array
+(** [init ~pool n f] is [map_array ~pool f [|0; ...; n-1|]]. *)

@@ -1,0 +1,10 @@
+type t = { seeds : int array }
+
+let make seed_pool ~tasks = { seeds = Dh_rng.Seed.split ~n:tasks seed_pool }
+let of_seeds seeds = { seeds = Array.copy seeds }
+let length t = Array.length t.seeds
+let seed t i = t.seeds.(i)
+let seeds t = Array.copy t.seeds
+
+let map ~pool t f =
+  Pool.init ~pool (length t) (fun i -> f ~seed:t.seeds.(i) i)

@@ -1,0 +1,37 @@
+(** Deterministic seed assignment for parallel fan-out.
+
+    A seed plan freezes the mapping {e task index → heap seed} before
+    any task starts, by draining the next [n] draws of a
+    {!Dh_rng.Seed.t} pool in one {!Dh_rng.Seed.split} block.  Task [i]
+    then owns seed [i] no matter which domain runs it or in what order
+    tasks complete — the rule that makes [--jobs n] output byte-identical
+    to [--jobs 1].
+
+    (The hazard this replaces: drawing [Seed.fresh] from inside tasks
+    assigns seeds in completion order, which is nondeterministic under
+    true parallelism and quietly different even sequentially if the
+    iteration order changes.) *)
+
+type t
+
+val make : Dh_rng.Seed.t -> tasks:int -> t
+(** [make pool ~tasks] draws the next [tasks] seeds from [pool].  Call
+    this {e before} handing work to {!Pool} — it is the fan-out boundary.
+    Seed [i] equals what the [i]-th sequential [Seed.fresh] draw would
+    have returned, so a plan-driven run reproduces the legacy sequential
+    seed assignment exactly. *)
+
+val of_seeds : int array -> t
+(** A plan over explicitly chosen seeds (copied; tests use this). *)
+
+val length : t -> int
+
+val seed : t -> int -> int
+(** [seed t i] is task [i]'s seed. *)
+
+val seeds : t -> int array
+(** A copy of the full assignment, in task order. *)
+
+val map : pool:Pool.t -> t -> (seed:int -> int -> 'a) -> 'a array
+(** [map ~pool t f] runs [f ~seed:(seed t i) i] for every task index
+    through [pool], returning results in task order. *)

@@ -18,24 +18,31 @@ let exponential rng ~mean =
 
 (* Zipf by inversion of the generalized harmonic CDF, computed lazily with a
    small per-(n,s) cache.  Workloads use a handful of (n,s) pairs, so the
-   cache stays tiny. *)
+   cache stays tiny.  The cache is the one piece of state shared across
+   heaps, so it is mutex-guarded: workload drivers run on concurrent
+   domains under Dh_parallel. *)
 let zipf_cache : (int * float, float array) Hashtbl.t = Hashtbl.create 8
+let zipf_lock = Mutex.create ()
 
 let zipf_cdf ~n ~s =
-  match Hashtbl.find_opt zipf_cache (n, s) with
-  | Some cdf -> cdf
-  | None ->
-    let cdf = Array.make n 0. in
-    let total = ref 0. in
-    for k = 1 to n do
-      total := !total +. (1. /. Float.pow (float_of_int k) s);
-      cdf.(k - 1) <- !total
-    done;
-    for k = 0 to n - 1 do
-      cdf.(k) <- cdf.(k) /. !total
-    done;
-    Hashtbl.replace zipf_cache (n, s) cdf;
-    cdf
+  Mutex.lock zipf_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock zipf_lock)
+    (fun () ->
+      match Hashtbl.find_opt zipf_cache (n, s) with
+      | Some cdf -> cdf
+      | None ->
+        let cdf = Array.make n 0. in
+        let total = ref 0. in
+        for k = 1 to n do
+          total := !total +. (1. /. Float.pow (float_of_int k) s);
+          cdf.(k - 1) <- !total
+        done;
+        for k = 0 to n - 1 do
+          cdf.(k) <- cdf.(k) /. !total
+        done;
+        Hashtbl.replace zipf_cache (n, s) cdf;
+        cdf)
 
 let zipf rng ~n ~s =
   if n < 1 then invalid_arg "Dist.zipf: want n >= 1";

@@ -20,4 +20,12 @@ let fresh t =
   t.counter <- t.counter + 1;
   mix (t.master + (t.counter * golden))
 
+let split ~n t =
+  if n < 0 then invalid_arg "Seed.split: n must be >= 0";
+  let seeds = Array.make n 0 in
+  for i = 0 to n - 1 do
+    seeds.(i) <- fresh t
+  done;
+  seeds
+
 let fresh_rng t = Mwc.create ~seed:(fresh t)

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "diehard"
     [
       ("rng", Test_rng.suite);
+      ("parallel", Test_parallel.suite);
       ("simmem", Test_mem.suite);
       ("bulk", Test_bulk.suite);
       ("alloc-base", Test_alloc_base.suite);

@@ -1,0 +1,267 @@
+(* Tests for the Domains-based execution engine: the Dh_parallel pool
+   and seed plan, plus the determinism contract of the parallel drivers —
+   for a fixed master seed, `jobs = n` must reproduce `jobs = 1` exactly
+   (replica verdicts, campaign tallies, supervisor incidents). *)
+
+module Mem = Dh_mem.Mem
+module Process = Dh_mem.Process
+module Allocator = Dh_alloc.Allocator
+module Program = Dh_alloc.Program
+module Pool = Dh_parallel.Pool
+module Seed_plan = Dh_parallel.Seed_plan
+module Seed = Dh_rng.Seed
+open Diehard
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- pool mechanics --- *)
+
+let test_pool_empty () =
+  let pool = Pool.create ~jobs:4 () in
+  check "empty list" true (Pool.map ~pool (fun x -> x * 2) [] = []);
+  check "empty array" true (Pool.map_array ~pool (fun x -> x * 2) [||] = [||])
+
+let test_pool_singleton () =
+  let pool = Pool.create ~jobs:4 () in
+  check "singleton" true (Pool.map ~pool (fun x -> x + 1) [ 41 ] = [ 42 ])
+
+let test_pool_jobs_exceed_items () =
+  (* More domains than work: every item still computed exactly once, in
+     order. *)
+  let pool = Pool.create ~jobs:8 () in
+  check "3 items, 8 jobs" true
+    (Pool.map ~pool (fun x -> x * x) [ 1; 2; 3 ] = [ 1; 4; 9 ])
+
+let test_pool_preserves_order () =
+  let items = List.init 100 Fun.id in
+  let expected = List.map (fun x -> (x * 7) + 1) items in
+  List.iter
+    (fun jobs ->
+      let pool = Pool.create ~jobs () in
+      check
+        (Printf.sprintf "order at jobs=%d" jobs)
+        true
+        (Pool.map ~pool (fun x -> (x * 7) + 1) items = expected))
+    [ 1; 2; 3; 4; 7 ]
+
+let test_pool_exception_propagation () =
+  (* The lowest-indexed failing item's exception surfaces, sequentially
+     and in parallel alike. *)
+  let f i = if i = 5 || i = 7 then failwith (Printf.sprintf "item %d" i) else i in
+  List.iter
+    (fun jobs ->
+      let pool = Pool.create ~jobs () in
+      match Pool.map ~pool f (List.init 10 Fun.id) with
+      | _ -> Alcotest.fail "exception swallowed"
+      | exception Failure msg ->
+        Alcotest.(check string)
+          (Printf.sprintf "first failure wins at jobs=%d" jobs)
+          "item 5" msg)
+    [ 1; 4 ]
+
+let test_pool_rejects_bad_jobs () =
+  Alcotest.check_raises "jobs=0" (Invalid_argument "Pool.create: jobs must be >= 1")
+    (fun () -> ignore (Pool.create ~jobs:0 ()));
+  Alcotest.check_raises "config jobs=0" (Invalid_argument "Config: jobs must be >= 1")
+    (fun () -> ignore (Config.v ~jobs:0 ()))
+
+let test_pool_default_jobs () =
+  check "recommended >= 1" true (Pool.default_jobs () >= 1);
+  check_int "pool remembers width" 3 (Pool.jobs (Pool.create ~jobs:3 ()))
+
+(* --- seed split / plan --- *)
+
+let test_seed_split_matches_fresh () =
+  let a = Seed.create ~master:77 and b = Seed.create ~master:77 in
+  let split = Seed.split ~n:5 a in
+  let drawn = Array.init 5 (fun _ -> Seed.fresh b) in
+  check "split = 5 fresh draws" true (split = drawn);
+  (* the stream continues after the split block *)
+  check "stream continues" true (Seed.fresh a = Seed.fresh b)
+
+let test_seed_split_empty () =
+  let a = Seed.create ~master:1 and b = Seed.create ~master:1 in
+  check "n=0 draws nothing" true
+    (Seed.split ~n:0 a = [||] && Seed.fresh a = Seed.fresh b);
+  Alcotest.check_raises "negative n" (Invalid_argument "Seed.split: n must be >= 0")
+    (fun () -> ignore (Seed.split ~n:(-1) a))
+
+let test_seed_plan_fixed_assignment () =
+  let plan = Seed_plan.make (Seed.create ~master:5) ~tasks:4 in
+  let expected = Seed.split ~n:4 (Seed.create ~master:5) in
+  check_int "length" 4 (Seed_plan.length plan);
+  check "seeds by index" true
+    (Array.init 4 (Seed_plan.seed plan) = expected);
+  (* plan-driven map hands task i its planned seed, on any pool width *)
+  List.iter
+    (fun jobs ->
+      let pool = Pool.create ~jobs () in
+      let got = Seed_plan.map ~pool plan (fun ~seed i -> (i, seed)) in
+      check
+        (Printf.sprintf "planned seeds at jobs=%d" jobs)
+        true
+        (got = Array.init 4 (fun i -> (i, expected.(i)))))
+    [ 1; 3 ]
+
+(* --- parallel drivers reproduce sequential results --- *)
+
+let small_config ~jobs =
+  Config.v ~heap_size:(12 * 64 * 1024) ~jobs ()
+
+(* Heap-layout-sensitive program: output depends on where objects land,
+   so replicas genuinely differ and voting does real work. *)
+let layout_program =
+  Program.make ~name:"layout" (fun ctx ->
+      let a = ctx.Program.alloc in
+      let p = Allocator.malloc_exn a 32 in
+      let q = Allocator.malloc_exn a 32 in
+      Process.Out.printf ctx.Program.out "d=%d" ((q - p) land 0xFF);
+      a.Allocator.free p;
+      a.Allocator.free q)
+
+let uninit_program =
+  Program.make ~name:"uninit" (fun ctx ->
+      let a = ctx.Program.alloc in
+      let p = Allocator.malloc_exn a 64 in
+      Process.Out.printf ctx.Program.out "%d" (Mem.read64 a.Allocator.mem p))
+
+(* Crashes or not depending on heap garbage — some replicas die. *)
+let flaky_program =
+  Program.make ~name:"flaky" (fun ctx ->
+      let a = ctx.Program.alloc in
+      let p = Allocator.malloc_exn a 8 in
+      let garbage = Mem.read64 a.Allocator.mem p in
+      if garbage land 3 = 0 then ignore (Mem.read8 a.Allocator.mem 0);
+      Process.Out.print_string ctx.Program.out "ok")
+
+let replicated_report ~jobs ~master ~replicas program =
+  Replicated.run
+    ~config:(small_config ~jobs)
+    ~replicas
+    ~seed_pool:(Seed.create ~master)
+    ~replace_failed:1 program
+
+let prop_replicated_jobs_equivalence =
+  QCheck.Test.make ~name:"replicated: jobs=n report equals jobs=1" ~count:15
+    QCheck.(
+      triple (int_bound 1000)
+        (QCheck.oneofl [ 1; 3; 5 ])
+        (QCheck.oneofl [ (layout_program, "layout"); (uninit_program, "uninit");
+                         (flaky_program, "flaky") ]))
+    (fun (master, replicas, (program, _)) ->
+      let seq = replicated_report ~jobs:1 ~master ~replicas program in
+      List.for_all
+        (fun jobs -> replicated_report ~jobs ~master ~replicas program = seq)
+        [ 2; 4 ])
+
+let campaign_tally ~jobs =
+  let spec =
+    { Dh_fault.Injector.paper_dangling with
+      Dh_fault.Injector.dangling_rate = 0.8;
+      dangling_distance = 4;
+      seed = 99
+    }
+  in
+  let churn =
+    Program.make ~name:"churn" (fun ctx ->
+        let a = ctx.Program.alloc in
+        let live = Array.make 8 0 in
+        let h = ref 1 in
+        for i = 0 to 199 do
+          let slot = i land 7 in
+          if live.(slot) <> 0 then begin
+            h := !h lxor Mem.read64 a.Allocator.mem live.(slot);
+            a.Allocator.free live.(slot);
+            live.(slot) <- 0
+          end;
+          match a.Allocator.malloc (16 + ((i land 3) * 16)) with
+          | Some p ->
+            Mem.write64 a.Allocator.mem p (i + !h);
+            live.(slot) <- p
+          | None -> ()
+        done;
+        Process.Out.printf ctx.Program.out "h=%d" !h)
+  in
+  Dh_fault.Campaign.run_exn ~jobs ~trials:20 ~spec
+    ~make_alloc:(fun ~trial ->
+      Heap.allocator
+        (Heap.create ~config:(Config.v ~heap_size:(12 * 64 * 1024) ~seed:(trial + 1) ())
+           (Mem.create ())))
+    churn
+
+let test_campaign_jobs_equivalence () =
+  let seq = campaign_tally ~jobs:1 in
+  check "some trials misbehave (campaign is non-trivial)" true
+    (seq.Dh_fault.Campaign.correct < seq.Dh_fault.Campaign.trials);
+  List.iter
+    (fun jobs ->
+      check
+        (Printf.sprintf "tally at jobs=%d" jobs)
+        true
+        (campaign_tally ~jobs = seq))
+    [ 2; 4 ]
+
+(* Crashes on roughly half the seeds (by object placement), so the
+   ladder really retries and the canary diagnosis really replays. *)
+let seed_sensitive_crasher =
+  Program.make ~name:"seed-crasher" (fun ctx ->
+      let a = ctx.Program.alloc in
+      let p = Allocator.malloc_exn a 16 in
+      if (p lsr 4) land 1 = 0 then ignore (Mem.read8 a.Allocator.mem 0);
+      Process.Out.printf ctx.Program.out "p-parity=%d" ((p lsr 4) land 1))
+
+let supervisor_incident ~jobs ~master =
+  Supervisor.run
+    ~policy:{ Supervisor.default_policy with Supervisor.fuel = 1_000_000 }
+    ~config:(small_config ~jobs)
+    ~seed_pool:(Seed.create ~master)
+    seed_sensitive_crasher
+
+let test_supervisor_jobs_equivalence () =
+  (* Find a master whose first attempt fails so the concurrent diagnosis
+     path is actually exercised, then require incident equality. *)
+  let rec find_failing master =
+    if master > 64 then Alcotest.fail "no first-attempt failure in 64 masters"
+    else
+      let i = supervisor_incident ~jobs:1 ~master in
+      match i.Supervisor.attempts with
+      | first :: _ when not first.Supervisor.ok -> (master, i)
+      | _ -> find_failing (master + 1)
+  in
+  let master, seq = find_failing 1 in
+  check "diagnosis ran" true (seq.Supervisor.diagnosis <> None);
+  check "incident at jobs=2 equals jobs=1" true
+    (supervisor_incident ~jobs:2 ~master = seq);
+  (* and a first-try success stays equal too *)
+  let rec find_ok master =
+    if master > 64 then Alcotest.fail "no first-attempt success in 64 masters"
+    else
+      let i = supervisor_incident ~jobs:1 ~master in
+      if i.Supervisor.verdict = Supervisor.Survived 0 then (master, i)
+      else find_ok (master + 1)
+  in
+  let master, seq = find_ok 1 in
+  check "first-try success equal at jobs=2" true
+    (supervisor_incident ~jobs:2 ~master = seq)
+
+let suite =
+  [
+    Alcotest.test_case "pool: empty" `Quick test_pool_empty;
+    Alcotest.test_case "pool: singleton" `Quick test_pool_singleton;
+    Alcotest.test_case "pool: jobs > items" `Quick test_pool_jobs_exceed_items;
+    Alcotest.test_case "pool: order preserved" `Quick test_pool_preserves_order;
+    Alcotest.test_case "pool: exception propagation" `Quick
+      test_pool_exception_propagation;
+    Alcotest.test_case "pool: rejects jobs < 1" `Quick test_pool_rejects_bad_jobs;
+    Alcotest.test_case "pool: defaults" `Quick test_pool_default_jobs;
+    Alcotest.test_case "seed: split = fresh draws" `Quick test_seed_split_matches_fresh;
+    Alcotest.test_case "seed: split edge cases" `Quick test_seed_split_empty;
+    Alcotest.test_case "seed plan: fixed assignment" `Quick
+      test_seed_plan_fixed_assignment;
+    QCheck_alcotest.to_alcotest prop_replicated_jobs_equivalence;
+    Alcotest.test_case "campaign: jobs equivalence" `Quick
+      test_campaign_jobs_equivalence;
+    Alcotest.test_case "supervisor: jobs equivalence" `Quick
+      test_supervisor_jobs_equivalence;
+  ]

@@ -87,10 +87,29 @@ let test_replicated_distinct_seeds () =
   let seeds = List.map (fun r -> r.Replicated.seed) report.Replicated.replicas in
   check_int "three distinct seeds" 3 (List.length (List.sort_uniq compare seeds))
 
+(* Regression for the exact error text: it must say why two replicas
+   cannot work (the §6 quorum argument) and point at the CLI flag. *)
 let test_replicated_rejects_two () =
   Alcotest.check_raises "two replicas rejected"
-    (Invalid_argument "Replicated.run: need one replica or at least three (§6)")
-    (fun () -> ignore (Replicated.run ~replicas:2 well_behaved))
+    (Invalid_argument
+       "Replicated.run: need one replica or at least three — with exactly two, \
+        disagreeing replicas split 1-1 and the voter has no majority to commit \
+        (the paper's quorum argument, §6); pass --replicas 1 or --replicas 3 \
+        to `diehard replicate`")
+    (fun () -> ignore (Replicated.run ~replicas:2 well_behaved));
+  (* replicas = 0 and negative counts take the same guard *)
+  (try
+     ignore (Replicated.run ~replicas:0 well_behaved);
+     Alcotest.fail "zero replicas accepted"
+   with Invalid_argument msg ->
+     check "mentions the CLI flag" true
+       (String.length msg > 0
+       && (let contains ~sub s =
+             let n = String.length s and m = String.length sub in
+             let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+             go 0
+           in
+           contains ~sub:"--replicas" msg && contains ~sub:"\xc2\xa76" msg)))
 
 let test_replicated_single () =
   let report = Replicated.run ~replicas:1 ~input:"solo" well_behaved in
