@@ -1,6 +1,6 @@
 # Convenience targets for the DieHard reproduction.
 
-.PHONY: all build test bench bench-quick bench-scaling fuzz examples check clean
+.PHONY: all build test bench bench-quick bench-scaling obs-check fuzz examples check clean
 
 all: build
 
@@ -21,6 +21,21 @@ bench-quick:
 # output diverges from the sequential fingerprint.
 bench-scaling:
 	dune exec bench/throughput.exe -- --jobs 8
+
+# Telemetry gate, two legs.  First an untraced full run gated against
+# the committed baseline: the obs-disabled allocation path must stay
+# within 5%.  (The legs are separate because --trace switches telemetry
+# on for the whole run, which would sink the alloc rates the baseline
+# compares.)  Then a quick traced run: the trace must parse as JSON and
+# cover the heap/GC/supervisor/replica spans the inspector expects.
+obs-check:
+	dune build @all
+	dune exec bench/throughput.exe -- --baseline BENCH_throughput.json --out /dev/null
+	dune exec bench/throughput.exe -- --quick --trace obs_trace.json --out /dev/null
+	python3 -m json.tool obs_trace.json > /dev/null
+	dune exec bin/diehard_cli.exe -- obs obs_trace.json \
+		--expect heap.malloc,gc.collect,gc.mark,gc.sweep,supervisor.attempt,replica.run
+	rm -f obs_trace.json
 
 fuzz:
 	dune exec bin/fuzz.exe -- --rounds 100 --ops 400

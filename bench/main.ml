@@ -35,7 +35,8 @@ let experiments ~quick =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "quick" args in
-  let selected = List.filter (fun a -> a <> "quick") args in
+  if List.mem "csv" args then Report.format := Report.Csv;
+  let selected = List.filter (fun a -> a <> "quick" && a <> "csv") args in
   let experiments = experiments ~quick in
   let to_run =
     if selected = [] then experiments

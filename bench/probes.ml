@@ -35,8 +35,9 @@ let probes_at_fullness ~multiplier ~fullness ~window =
     let p = Allocator.malloc_exn alloc 64 in
     alloc.Allocator.free p
   done;
-  float_of_int (stats.Stats.probes - probes0)
-  /. float_of_int (stats.Stats.mallocs - mallocs0)
+  let mallocs = stats.Stats.mallocs - mallocs0 in
+  if mallocs = 0 then 0.
+  else float_of_int (stats.Stats.probes - probes0) /. float_of_int mallocs
 
 let run ~quick () =
   let window = if quick then 2_000 else 10_000 in

@@ -8,8 +8,26 @@ let heading title =
 
 let subheading title = Printf.printf "\n-- %s --\n" title
 
+(* Output format for tabular results: aligned text (default) or CSV.
+   Flipped by `bench/main.exe -- csv`; every table in the harness then
+   comes out machine-readable, same rows, same order. *)
+type format = Table | Csv
+
+let format = ref Table
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+(* Emit rows as CSV, header first. *)
+let csv ~header rows =
+  List.iter
+    (fun row -> print_endline (String.concat "," (List.map csv_cell row)))
+    (header :: rows)
+
 (* Render rows of string cells with aligned columns. *)
-let table ~header rows =
+let table_text ~header rows =
   let all = header :: rows in
   let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
   let widths = Array.make cols 0 in
@@ -27,6 +45,9 @@ let table ~header rows =
   print_row header;
   print_row (List.map (fun w -> String.make w '-') (Array.to_list widths));
   List.iter print_row rows
+
+let table ~header rows =
+  match !format with Table -> table_text ~header rows | Csv -> csv ~header rows
 
 let pct p = Printf.sprintf "%5.1f%%" (100. *. p)
 let pct2 p = Printf.sprintf "%7.3f%%" (100. *. p)

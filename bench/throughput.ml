@@ -1,16 +1,23 @@
 (* Stand-alone throughput microbenchmark:
 
      dune exec bench/throughput.exe -- [--quick] [--jobs N] [--out PATH]
+                                       [--trace PATH] [--baseline PATH]
 
    Prints a human summary and writes BENCH_throughput.json (or PATH).
    The same benchmark is reachable as `diehard bench`.  Exits nonzero if
-   the bulk/bytewise twin-heap semantics diverge or if any parallel
-   scaling point fails to reproduce the sequential results. *)
+   the bulk/bytewise twin-heap semantics diverge, if any parallel
+   scaling point fails to reproduce the sequential results, or if
+   --baseline finds allocation throughput more than 5% below the
+   committed baseline (the observability overhead gate).  --trace runs
+   the whole bench with Dh_obs enabled and writes Chrome trace_event
+   JSON. *)
 
 let () =
   let quick = ref false in
   let out = ref "BENCH_throughput.json" in
   let jobs = ref 8 in
+  let trace = ref None in
+  let baseline = ref None in
   let rec parse = function
     | [] -> ()
     | ("--quick" | "quick") :: rest ->
@@ -18,6 +25,12 @@ let () =
       parse rest
     | "--out" :: path :: rest ->
       out := path;
+      parse rest
+    | "--trace" :: path :: rest ->
+      trace := Some path;
+      parse rest
+    | "--baseline" :: path :: rest ->
+      baseline := Some path;
       parse rest
     | ("--jobs" | "-j") :: n :: rest ->
       (match int_of_string_opt n with
@@ -27,15 +40,24 @@ let () =
         exit 2);
       parse rest
     | arg :: _ ->
-      Printf.eprintf "usage: throughput [--quick] [--jobs N] [--out PATH] (got %S)\n"
+      Printf.eprintf
+        "usage: throughput [--quick] [--jobs N] [--out PATH] [--trace PATH] \
+         [--baseline PATH] (got %S)\n"
         arg;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !trace <> None then Dh_obs.Control.set_enabled true;
   let report = Dh_bench.Throughput.run ~quick:!quick ~max_jobs:!jobs () in
   Dh_bench.Throughput.print report;
   Dh_bench.Throughput.write_json ~path:!out report;
   Printf.printf "wrote %s\n" !out;
+  (match !trace with
+  | None -> ()
+  | Some path ->
+    Dh_obs.Tracing.write_chrome_json ~path ();
+    Printf.printf "wrote %s (%d events)\n" path
+      (List.length (Dh_obs.Tracing.events ())));
   if not (report.Dh_bench.Throughput.fill.Dh_bench.Throughput.semantics_match
          && report.Dh_bench.Throughput.copy.Dh_bench.Throughput.semantics_match)
   then begin
@@ -45,4 +67,12 @@ let () =
   if not (Dh_bench.Throughput.deterministic report) then begin
     prerr_endline "parallel/sequential divergence in scaling bench";
     exit 1
-  end
+  end;
+  match !baseline with
+  | None -> ()
+  | Some path -> (
+    match Dh_bench.Throughput.check_baseline ~path report with
+    | Ok () -> Printf.printf "baseline gate: within 5%% of %s\n" path
+    | Error msg ->
+      prerr_endline ("baseline gate: " ^ msg);
+      exit 1)

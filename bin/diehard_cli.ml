@@ -85,6 +85,42 @@ let read_input = function
   | Some "-" -> In_channel.input_all stdin
   | Some path -> read_file path
 
+(* Observability: every subcommand accepts --trace FILE and --metrics
+   FILE.  Either one switches Dh_obs on for the whole process; the dumps
+   are written from an at_exit hook because the actions below terminate
+   via [exit] on every path. *)
+
+let obs_trace_arg =
+  let doc =
+    "Record span traces and write them as Chrome trace_event JSON to $(docv) \
+     on exit (load it at chrome://tracing or in Perfetto)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let obs_metrics_arg =
+  let doc = "Write the metrics registry as CSV to $(docv) on exit." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let obs_setup trace metrics =
+  if trace <> None || metrics <> None then begin
+    Dh_obs.Control.set_enabled true;
+    at_exit (fun () ->
+        (match trace with
+        | Some path ->
+          Dh_obs.Tracing.write_chrome_json ~path ();
+          Printf.eprintf "trace: wrote %s (%d events, %d dropped)\n" path
+            (List.length (Dh_obs.Tracing.events ()))
+            (Dh_obs.Tracing.dropped ())
+        | None -> ());
+        match metrics with
+        | Some path ->
+          Dh_obs.Metrics.write_csv ~path Dh_obs.Metrics.default;
+          Printf.eprintf "metrics: wrote %s\n" path
+        | None -> ())
+  end
+
+let obs_term = Term.(const obs_setup $ obs_trace_arg $ obs_metrics_arg)
+
 let make_allocator kind ~seed ~heap_size =
   let mem = Dh_mem.Mem.create () in
   match kind with
@@ -114,7 +150,7 @@ let report_result (r : Dh_mem.Process.result) =
 (* --- run --- *)
 
 let run_cmd =
-  let action prog alloc_kind policy seed heap_size input bounded fuel =
+  let action () prog alloc_kind policy seed heap_size input bounded fuel =
     let source = load_source prog in
     let libc = if bounded then Dh_lang.Interp.Bounded else Dh_lang.Interp.Unchecked in
     let program = Dh_lang.Interp.program_of_source ~libc ~name:prog source in
@@ -128,8 +164,8 @@ let run_cmd =
   let doc = "Run a MiniC program under a chosen memory manager (stand-alone mode)." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const action $ prog_arg $ allocator_arg $ policy_arg $ seed_arg $ heap_arg
-      $ input_arg $ bounded_arg $ fuel_arg)
+      const action $ obs_term $ prog_arg $ allocator_arg $ policy_arg $ seed_arg
+      $ heap_arg $ input_arg $ bounded_arg $ fuel_arg)
 
 (* --- replicate --- *)
 
@@ -138,7 +174,7 @@ let replicas_arg =
   Arg.(value & opt int 3 & info [ "n"; "replicas" ] ~docv:"K" ~doc)
 
 let replicate_cmd =
-  let action prog replicas seed heap_size input fuel jobs =
+  let action () prog replicas seed heap_size input fuel jobs =
     let source = load_source prog in
     let program = Dh_lang.Interp.program_of_source ~name:prog source in
     let config = Diehard.Config.v ~heap_size ~jobs () in
@@ -171,8 +207,8 @@ let replicate_cmd =
   let doc = "Run a program under the replicated DieHard runtime with output voting (\u{00a7}5)." in
   Cmd.v (Cmd.info "replicate" ~doc)
     Term.(
-      const action $ prog_arg $ replicas_arg $ seed_arg $ heap_arg $ input_arg
-      $ fuel_arg $ jobs_arg)
+      const action $ obs_term $ prog_arg $ replicas_arg $ seed_arg $ heap_arg
+      $ input_arg $ fuel_arg $ jobs_arg)
 
 (* --- inject --- *)
 
@@ -186,7 +222,7 @@ let trials_arg =
   Arg.(value & opt int 10 & info [ "trials" ] ~docv:"N" ~doc)
 
 let inject_cmd =
-  let action prog mode trials alloc_kind seed heap_size input fuel jobs =
+  let action () prog mode trials alloc_kind seed heap_size input fuel jobs =
     let source = load_source prog in
     let program = Dh_lang.Interp.program_of_source ~name:prog source in
     let spec =
@@ -210,8 +246,8 @@ let inject_cmd =
   let doc = "Run the \u{00a7}7.3.1 fault-injection campaign against a program." in
   Cmd.v (Cmd.info "inject" ~doc)
     Term.(
-      const action $ prog_arg $ mode_arg $ trials_arg $ allocator_arg $ seed_arg
-      $ heap_arg $ input_arg $ fuel_arg $ jobs_arg)
+      const action $ obs_term $ prog_arg $ mode_arg $ trials_arg $ allocator_arg
+      $ seed_arg $ heap_arg $ input_arg $ fuel_arg $ jobs_arg)
 
 (* --- survive --- *)
 
@@ -232,8 +268,8 @@ let no_diagnose_arg =
   Arg.(value & flag & info [ "no-diagnose" ] ~doc)
 
 let survive_cmd =
-  let action prog retries backoff no_rescue no_diagnose policy_kind seed heap_size
-      input fuel jobs =
+  let action () prog retries backoff no_rescue no_diagnose policy_kind seed
+      heap_size input fuel jobs =
     let source = load_source prog in
     let program = Dh_lang.Interp.program_of_source ~name:prog source in
     let policy =
@@ -269,14 +305,14 @@ let survive_cmd =
   in
   Cmd.v (Cmd.info "survive" ~doc)
     Term.(
-      const action $ prog_arg $ retries_arg $ backoff_arg $ no_rescue_arg
-      $ no_diagnose_arg $ policy_arg $ seed_arg $ heap_arg $ input_arg $ fuel_arg
-      $ jobs_arg)
+      const action $ obs_term $ prog_arg $ retries_arg $ backoff_arg
+      $ no_rescue_arg $ no_diagnose_arg $ policy_arg $ seed_arg $ heap_arg
+      $ input_arg $ fuel_arg $ jobs_arg)
 
 (* --- check --- *)
 
 let check_cmd =
-  let action prog print =
+  let action () prog print =
     let source = load_source prog in
     match Dh_lang.Check.check_source source with
     | Ok ast ->
@@ -292,12 +328,13 @@ let check_cmd =
     Arg.(value & flag & info [ "print" ] ~doc)
   in
   let doc = "Statically check a MiniC program (syntax, scoping, arity)." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(const action $ prog_arg $ print_arg)
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const action $ obs_term $ prog_arg $ print_arg)
 
 (* --- trace --- *)
 
 let trace_cmd =
-  let action prog alloc_kind seed heap_size input fuel =
+  let action () prog alloc_kind seed heap_size input fuel =
     let source = load_source prog in
     let program = Dh_lang.Interp.program_of_source ~name:prog source in
     let alloc = make_allocator alloc_kind ~seed ~heap_size in
@@ -319,13 +356,13 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
-      const action $ prog_arg $ allocator_arg $ seed_arg $ heap_arg $ input_arg
-      $ fuel_arg)
+      const action $ obs_term $ prog_arg $ allocator_arg $ seed_arg $ heap_arg
+      $ input_arg $ fuel_arg)
 
 (* --- diagnose --- *)
 
 let diagnose_cmd =
-  let action prog replicas seed heap_size input fuel =
+  let action () prog replicas seed heap_size input fuel =
     let source = load_source prog in
     let program = Dh_lang.Interp.program_of_source ~name:prog source in
     let report =
@@ -344,13 +381,13 @@ let diagnose_cmd =
   in
   Cmd.v (Cmd.info "diagnose" ~doc)
     Term.(
-      const action $ prog_arg $ replicas_arg $ seed_arg $ heap_arg $ input_arg
-      $ fuel_arg)
+      const action $ obs_term $ prog_arg $ replicas_arg $ seed_arg $ heap_arg
+      $ input_arg $ fuel_arg)
 
 (* --- bench --- *)
 
 let bench_cmd =
-  let action quick out jobs =
+  let action () quick out jobs =
     let report = Dh_bench.Throughput.run ~quick ~max_jobs:jobs () in
     Dh_bench.Throughput.print report;
     (match out with
@@ -383,13 +420,84 @@ let bench_cmd =
      bitmap sweep rate, and parallel scaling of replicated runs and fault \
      campaigns (with a parallel-equals-sequential determinism check)."
   in
-  Cmd.v (Cmd.info "bench" ~doc) Term.(const action $ quick_arg $ out_arg $ bench_jobs_arg)
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(const action $ obs_term $ quick_arg $ out_arg $ bench_jobs_arg)
+
+(* --- obs: inspect a recorded trace --- *)
+
+let obs_cmd =
+  let action file expect =
+    let contents =
+      try read_file file
+      with Sys_error e ->
+        Printf.eprintf "%s\n" e;
+        exit 2
+    in
+    match Dh_obs.Json.parse contents with
+    | Error e ->
+      Printf.eprintf "%s: not valid JSON: %s\n" file e;
+      exit 1
+    | Ok json -> (
+      match Dh_obs.Json.member "traceEvents" json with
+      | Some (Dh_obs.Json.List events) ->
+        let by_name : (string, int) Hashtbl.t = Hashtbl.create 64 in
+        let bad = ref 0 in
+        List.iter
+          (fun ev ->
+            match
+              ( Option.bind (Dh_obs.Json.member "name" ev) Dh_obs.Json.string_value,
+                Option.bind (Dh_obs.Json.member "ph" ev) Dh_obs.Json.string_value,
+                Dh_obs.Json.member "ts" ev )
+            with
+            | Some name, Some ("B" | "E" | "i"), Some (Dh_obs.Json.Number _) ->
+              Hashtbl.replace by_name name
+                (1 + Option.value ~default:0 (Hashtbl.find_opt by_name name))
+            | _ -> incr bad)
+          events;
+        if !bad > 0 then begin
+          Printf.eprintf "%s: %d malformed trace events\n" file !bad;
+          exit 1
+        end;
+        Printf.printf "%s: %d events, %d distinct names\n" file (List.length events)
+          (Hashtbl.length by_name);
+        List.iter
+          (fun (name, count) -> Printf.printf "  %-28s %d\n" name count)
+          (List.sort compare
+             (Hashtbl.fold (fun name count acc -> (name, count) :: acc) by_name []));
+        let missing = List.filter (fun n -> not (Hashtbl.mem by_name n)) expect in
+        if missing <> [] then begin
+          Printf.eprintf "%s: missing expected event names: %s\n" file
+            (String.concat ", " missing);
+          exit 1
+        end;
+        exit 0
+      | _ ->
+        Printf.eprintf "%s: no traceEvents array\n" file;
+        exit 1)
+  in
+  let file_arg =
+    let doc = "Chrome trace_event JSON file written by --trace." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let expect_arg =
+    let doc =
+      "Comma-separated event names that must appear in the trace; exit nonzero \
+       if any is absent (CI uses this to validate coverage)."
+    in
+    Arg.(value & opt (list string) [] & info [ "expect" ] ~docv:"NAMES" ~doc)
+  in
+  let doc =
+    "Inspect a recorded trace file: validate that it parses as Chrome \
+     trace_event JSON, summarize event counts per name, and optionally check \
+     expected names are present."
+  in
+  Cmd.v (Cmd.info "obs" ~doc) Term.(const action $ file_arg $ expect_arg)
 
 let main_cmd =
   let doc = "DieHard (PLDI 2006) reproduction: probabilistic memory safety, simulated" in
   let info = Cmd.info "diehard" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ run_cmd; replicate_cmd; survive_cmd; inject_cmd; check_cmd; diagnose_cmd;
-      trace_cmd; bench_cmd ]
+      trace_cmd; bench_cmd; obs_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

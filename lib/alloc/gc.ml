@@ -31,16 +31,20 @@ let free_class_of size =
   | None -> free_class_count - 1
 
 let create ?(arena_size = 1 lsl 20) ?(heap_limit = 256 lsl 20) mem =
-  {
-    mem;
-    arena_size;
-    heap_limit;
-    arenas = [];
-    arena_bytes = 0;
-    free_lists = Array.make free_class_count [];
-    root_providers = [];
-    stats = Stats.create ();
-  }
+  let t =
+    {
+      mem;
+      arena_size;
+      heap_limit;
+      arenas = [];
+      arena_bytes = 0;
+      free_lists = Array.make free_class_count [];
+      root_providers = [];
+      stats = Stats.create ();
+    }
+  in
+  if Dh_obs.Control.enabled () then Stats.register ~prefix:"gc" t.stats;
+  t
 
 let register_roots t f = t.root_providers <- f :: t.root_providers
 
@@ -126,8 +130,7 @@ let chunk_containing_idx index v =
   in
   search 0 (n - 1)
 
-let collect t =
-  t.stats.Stats.gc_collections <- t.stats.Stats.gc_collections + 1;
+let mark t =
   let index = build_index t in
   let worklist = Queue.create () in
   let mark_value v =
@@ -153,7 +156,9 @@ let collect t =
         mark_value (Int64.to_int (String.get_int64_le bytes (8 * i)))
       done
     end
-  done;
+  done
+
+let sweep t =
   (* 3. sweep: unmarked allocated chunks become free (accounting them),
      clear mark bits, and coalesce runs of adjacent free chunks so
      fragmentation does not defeat large requests. *)
@@ -195,6 +200,12 @@ let collect t =
           else flush_run ~at_top:false);
       flush_run ~at_top:true)
     t.arenas
+
+let collect t =
+  t.stats.Stats.gc_collections <- t.stats.Stats.gc_collections + 1;
+  Dh_obs.Tracing.span "gc.collect" (fun () ->
+      Dh_obs.Tracing.span "gc.mark" (fun () -> mark t);
+      Dh_obs.Tracing.span "gc.sweep" (fun () -> sweep t))
 
 (* --- allocation --- *)
 

@@ -29,4 +29,12 @@ val on_malloc : t -> requested:int -> reserved:int -> unit
 val on_free : t -> reserved:int -> unit
 (** Record an accepted free of an object of [reserved] bytes. *)
 
+val register : prefix:string -> t -> unit
+(** Publish every counter as a callback gauge named [prefix ^ ".mallocs"]
+    etc. on {!Dh_obs.Metrics.default}.  Re-registering a prefix replaces
+    the callbacks, so a prefix tracks the most recently created
+    allocator. *)
+
 val pp : Format.formatter -> t -> unit
+(** Counts plus the derived probes-per-malloc ratio; the ratio prints as
+    ["-"] on an empty run (no division by zero). *)

@@ -29,6 +29,12 @@ type scaling = {
   deterministic : bool;
 }
 
+type obs_overhead = {
+  obs_off : rate;  (* the diehard alloc churn with observability disabled *)
+  obs_on : rate;  (* the same churn with tracing + metrics enabled *)
+  enabled_overhead_pct : float;  (* slowdown of on vs off, percent *)
+}
+
 type report = {
   quick : bool;
   alloc : rate list;
@@ -36,6 +42,8 @@ type report = {
   copy : comparison;
   gc_mark : rate;
   bitmap_sweep : rate;
+  supervisor : rate;
+  obs : obs_overhead;
   scaling : scaling list;
 }
 
@@ -255,6 +263,69 @@ let bitmap_bench ~quick =
   in
   { name = "bitmap-sweep"; ops = !visited; bytes = reps * (bits / 8); seconds }
 
+let small_heap = 12 * 64 * 1024
+
+(* --- supervisor ladder --- *)
+
+(* A program that faults deterministically (a wild read of an address
+   below the first mapping), so every rung of the supervisor's ladder
+   runs: randomized retries, the rescue rung, and the canary diagnosis
+   replay.  This is what puts supervisor spans into `diehard bench
+   --trace`'s output. *)
+let crasher_program =
+  Program.make ~name:"bench-crasher" (fun ctx ->
+      let a = ctx.Program.alloc in
+      let mem = a.Allocator.mem in
+      (match a.Allocator.malloc 64 with
+      | Some p -> Mem.write64 mem p 42
+      | None -> ());
+      ignore (Mem.read64 mem 0x10))
+
+let supervisor_bench ~quick =
+  let reps = if quick then 2 else 5 in
+  let policy =
+    { Diehard.Supervisor.default_policy with max_retries = 1; fuel = 100_000 }
+  in
+  let attempts = ref 0 in
+  let seconds =
+    time (fun () ->
+        for i = 1 to reps do
+          let incident =
+            Diehard.Supervisor.run ~policy
+              ~config:(Diehard.Config.v ~heap_size:small_heap ~seed:i ())
+              crasher_program
+          in
+          attempts :=
+            !attempts + List.length incident.Diehard.Supervisor.attempts
+        done)
+  in
+  { name = "supervisor"; ops = !attempts; bytes = 0; seconds }
+
+(* --- observability overhead --- *)
+
+(* The same diehard alloc churn with Dh_obs off and then on.  The off
+   leg is the compiled-in fast path (one atomic load and branch per
+   site) whose cost the baseline gate bounds; the on leg shows what
+   full tracing + metrics recording costs when you ask for it. *)
+let obs_overhead_bench ~quick =
+  let ops = if quick then 20_000 else 200_000 in
+  let make () =
+    let mem = Mem.create () in
+    Diehard.Heap.allocator
+      (Diehard.Heap.create ~config:(Diehard.Config.v ~seed:1 ()) mem)
+  in
+  let was = Dh_obs.Control.enabled () in
+  Dh_obs.Control.set_enabled false;
+  let obs_off = alloc_bench ~ops "diehard-obs-off" make in
+  Dh_obs.Control.set_enabled true;
+  let obs_on = alloc_bench ~ops "diehard-obs-on" make in
+  Dh_obs.Control.set_enabled was;
+  {
+    obs_off;
+    obs_on;
+    enabled_overhead_pct = ((ops_per_sec obs_off /. ops_per_sec obs_on) -. 1.) *. 100.;
+  }
+
 (* --- parallel scaling (Dh_parallel over replicas and campaigns) --- *)
 
 (* The paper runs 16 replicas on a 16-way SMP for roughly one run's
@@ -286,8 +357,6 @@ let churn_program ~ops =
         | None -> ()
       done;
       Process.Out.printf ctx.Program.out "h=%d" !h)
-
-let small_heap = 12 * 64 * 1024
 
 let jobs_sweep ~max_jobs =
   if max_jobs < 1 then invalid_arg "Throughput: max_jobs must be >= 1";
@@ -384,16 +453,23 @@ let campaign_scaling ~quick ~max_jobs =
 (* --- driver --- *)
 
 let run ?(quick = false) ?(max_jobs = 8) () =
-  {
-    quick;
-    alloc = alloc_benches ~quick;
-    fill = fill_bench ~quick;
-    copy = copy_bench ~quick;
-    gc_mark = gc_mark_bench ~quick;
-    bitmap_sweep = bitmap_bench ~quick;
-    scaling =
-      [ replicated_scaling ~quick ~max_jobs; campaign_scaling ~quick ~max_jobs ];
-  }
+  (* Stage order is load-bearing when tracing is on: the per-domain
+     trace rings overwrite their oldest events, and the churn-heavy
+     stages (alloc, scaling) flood them.  Running the low-volume span
+     stages (GC, supervisor) last keeps their spans in the retained
+     window, so a `--trace` of this bench always covers heap, GC,
+     supervisor, and pool events. *)
+  let alloc = alloc_benches ~quick in
+  let fill = fill_bench ~quick in
+  let copy = copy_bench ~quick in
+  let bitmap_sweep = bitmap_bench ~quick in
+  let obs = obs_overhead_bench ~quick in
+  let scaling =
+    [ replicated_scaling ~quick ~max_jobs; campaign_scaling ~quick ~max_jobs ]
+  in
+  let gc_mark = gc_mark_bench ~quick in
+  let supervisor = supervisor_bench ~quick in
+  { quick; alloc; fill; copy; gc_mark; bitmap_sweep; supervisor; obs; scaling }
 
 let deterministic r = List.for_all (fun s -> s.deterministic) r.scaling
 
@@ -442,6 +518,13 @@ let to_json r =
   json_rate b r.gc_mark;
   Printf.bprintf b ",\"bitmap_sweep\":";
   json_rate b r.bitmap_sweep;
+  Printf.bprintf b ",\"supervisor\":";
+  json_rate b r.supervisor;
+  Printf.bprintf b ",\"obs\":{\"off\":";
+  json_rate b r.obs.obs_off;
+  Printf.bprintf b ",\"on\":";
+  json_rate b r.obs.obs_on;
+  Printf.bprintf b ",\"enabled_overhead_pct\":%.2f}" r.obs.enabled_overhead_pct;
   Printf.bprintf b ",\"scaling\":[";
   List.iteri
     (fun i s ->
@@ -456,6 +539,72 @@ let write_json ~path r =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_json r))
+
+(* --- baseline gate --- *)
+
+(* The observability PR's contract: with Dh_obs compiled in but
+   disabled, allocation throughput must stay within [tolerance] of the
+   committed baseline JSON.  Compares each alloc rate (and the obs-off
+   leg) by name against the baseline's ops_per_sec. *)
+let check_baseline ?(tolerance = 0.05) ~path r =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error (Printf.sprintf "baseline %s: %s" path e)
+  | contents -> (
+    match Dh_obs.Json.parse contents with
+    | Error e -> Error (Printf.sprintf "baseline %s does not parse: %s" path e)
+    | Ok json -> (
+      let open Dh_obs.Json in
+      match (member "quick" json, member "alloc" json) with
+      | Some (Bool bq), Some (List baseline_alloc) ->
+        if bq <> r.quick then
+          Error
+            (Printf.sprintf
+               "baseline %s was recorded with quick=%b but this run is quick=%b"
+               path bq r.quick)
+        else begin
+          let baseline_entries =
+            baseline_alloc
+            @
+            match member "obs" json with
+            | Some obs -> List.filter_map Fun.id [ member "off" obs ]
+            | None -> []
+          in
+          let baseline_rate name =
+            List.find_map
+              (fun entry ->
+                match (member "name" entry, member "ops_per_sec" entry) with
+                | Some (String n), Some (Number ops) when n = name -> Some ops
+                | _ -> None)
+              baseline_entries
+          in
+          let failures =
+            List.filter_map
+              (fun rate ->
+                match baseline_rate rate.name with
+                | None -> None (* new allocator: nothing to compare against *)
+                | Some baseline ->
+                  let current = ops_per_sec rate in
+                  if current < baseline *. (1. -. tolerance) then
+                    Some
+                      (Printf.sprintf "%s: %.0f ops/s vs baseline %.0f (-%.1f%%)"
+                         rate.name current baseline
+                         ((1. -. (current /. baseline)) *. 100.))
+                  else None)
+              (r.alloc @ [ r.obs.obs_off ])
+          in
+          match failures with
+          | [] -> Ok ()
+          | fs ->
+            Error
+              (Printf.sprintf "throughput regressed more than %.0f%%:\n  %s"
+                 (tolerance *. 100.) (String.concat "\n  " fs))
+        end
+      | _ -> Error (Printf.sprintf "baseline %s: missing quick/alloc fields" path)))
 
 let print r =
   Printf.printf "throughput (%s)\n" (if r.quick then "quick" else "full");
@@ -474,6 +623,12 @@ let print r =
   Printf.printf "  gc-mark %14.1f MB/s\n" (mb_per_sec r.gc_mark);
   Printf.printf "  bitmap-sweep %9.0f Mbit/s scanned\n"
     (float_of_int r.bitmap_sweep.bytes *. 8. /. 1e6 /. r.bitmap_sweep.seconds);
+  Printf.printf "  supervisor %8d ladder attempts in %.3f s\n" r.supervisor.ops
+    r.supervisor.seconds;
+  Printf.printf
+    "  obs overhead: off %10.0f ops/s  on %10.0f ops/s  enabled costs %+.1f%%\n"
+    (ops_per_sec r.obs.obs_off) (ops_per_sec r.obs.obs_on)
+    r.obs.enabled_overhead_pct;
   List.iter
     (fun s ->
       Printf.printf "  scaling %-16s (%d units, %d cores) %s\n" s.sname s.units

@@ -63,6 +63,18 @@ type scaling = {
           including the per-trial list for campaigns). *)
 }
 
+type obs_overhead = {
+  obs_off : rate;
+      (** The diehard alloc churn with {!Dh_obs} disabled — the
+          compiled-in fast path (one atomic load + branch per site). *)
+  obs_on : rate;  (** The same churn with tracing + metrics enabled. *)
+  enabled_overhead_pct : float;
+      (** Slowdown of the enabled leg relative to the disabled one, in
+          percent.  Informational: the budgeted number is the disabled
+          leg's distance from the committed baseline
+          ({!check_baseline}). *)
+}
+
 type report = {
   quick : bool;
   alloc : rate list;
@@ -70,6 +82,11 @@ type report = {
   copy : comparison;
   gc_mark : rate;
   bitmap_sweep : rate;
+  supervisor : rate;
+      (** Supervisor escalation ladders driven over a deterministically
+          crashing program ([ops] = ladder attempts) — also the stage
+          that puts supervisor spans into [diehard bench --trace]. *)
+  obs : obs_overhead;
   scaling : scaling list;
 }
 
@@ -90,6 +107,13 @@ val mb_per_sec : rate -> float
 val to_json : report -> string
 
 val write_json : path:string -> report -> unit
+
+val check_baseline : ?tolerance:float -> path:string -> report -> (unit, string) result
+(** [check_baseline ~path r] compares [r]'s allocation rates (including
+    the obs-disabled leg) against the committed baseline JSON at [path],
+    by name, and fails if any is more than [tolerance] (default 0.05)
+    slower — the observability overhead gate.  The baseline must have
+    been recorded with the same [quick] flag. *)
 
 val print : report -> unit
 (** Human-readable summary on stdout. *)

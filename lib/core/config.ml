@@ -6,6 +6,7 @@ type t = {
   replicated : bool;
   seed : int;
   jobs : int;
+  obs : bool;
 }
 
 let validate t =
@@ -18,14 +19,21 @@ let validate t =
 
 let default =
   validate
-    { multiplier = 2; heap_size = 24 lsl 20; replicated = false; seed = 1; jobs = 1 }
+    {
+      multiplier = 2;
+      heap_size = 24 lsl 20;
+      replicated = false;
+      seed = 1;
+      jobs = 1;
+      obs = false;
+    }
 
 let paper_default = validate { default with heap_size = 384 lsl 20 }
 
 let v ?(multiplier = default.multiplier) ?(heap_size = default.heap_size)
     ?(replicated = default.replicated) ?(seed = default.seed)
-    ?(jobs = default.jobs) () =
-  validate { multiplier; heap_size; replicated; seed; jobs }
+    ?(jobs = default.jobs) ?(obs = default.obs) () =
+  validate { multiplier; heap_size; replicated; seed; jobs; obs }
 
 let region_size t =
   let raw = t.heap_size / Size_class.count in

@@ -26,6 +26,12 @@ type t = {
           single run's heap is inherently sequential — this knob only
           parallelizes {e across} runs, mirroring the paper's
           process-per-replica model (§5). *)
+  obs : bool;
+      (** Enable {!Dh_obs} telemetry (span tracing, metrics registration,
+          the fault flight recorder) for drivers that honor this config.
+          Telemetry is write-only: it never feeds back into execution, so
+          a run's output is identical with it on or off.  Off by
+          default; the disabled path is one atomic load per site. *)
 }
 
 val default : t
@@ -42,6 +48,7 @@ val v :
   ?replicated:bool ->
   ?seed:int ->
   ?jobs:int ->
+  ?obs:bool ->
   unit ->
   t
 (** Build a configuration, defaulting missing fields from {!default}.

@@ -27,6 +27,24 @@ type t = {
   stats : Stats.t;
 }
 
+(* The flight recorder asks for this at fault time: live slots per size
+   class, so an incident report shows how full the heap was. *)
+let occupancy_summary t () =
+  let b = Buffer.create 256 in
+  Array.iter
+    (fun region ->
+      if region.base <> 0 || region.in_use > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "class %2d (%5dB): %d/%d in use (threshold %d)\n"
+             region.class_
+             (Size_class.size region.class_)
+             region.in_use region.capacity region.threshold))
+    t.regions;
+  let larges = Imap.cardinal t.large in
+  if larges > 0 then Buffer.add_string b (Printf.sprintf "large objects: %d\n" larges);
+  if Buffer.length b = 0 then Buffer.add_string b "heap empty (no region mapped)\n";
+  Buffer.contents b
+
 let create ?(config = Config.default) mem =
   let regions =
     Array.init Size_class.count (fun class_ ->
@@ -40,14 +58,21 @@ let create ?(config = Config.default) mem =
           in_use = 0;
         })
   in
-  {
-    config;
-    mem;
-    rng = Mwc.create ~seed:config.Config.seed;
-    regions;
-    large = Imap.empty;
-    stats = Stats.create ();
-  }
+  let t =
+    {
+      config;
+      mem;
+      rng = Mwc.create ~seed:config.Config.seed;
+      regions;
+      large = Imap.empty;
+      stats = Stats.create ();
+    }
+  in
+  if Dh_obs.Control.enabled () then begin
+    Stats.register ~prefix:"heap" t.stats;
+    Dh_obs.Recorder.register_context "heap.occupancy" (occupancy_summary t)
+  end;
+  t
 
 let config t = t.config
 let stats t = t.stats
@@ -57,12 +82,12 @@ let rng t = t.rng
    (the DieHardInitHeap random fill of Figure 2, done per region because
    regions are mapped on demand). *)
 let ensure_mapped t region =
-  if region.base = 0 then begin
-    let len = region.capacity * Size_class.size region.class_ in
-    region.base <- Mem.mmap t.mem len;
-    if t.config.Config.replicated then
-      Mem.fill_random t.mem ~addr:region.base ~len t.rng
-  end
+  if region.base = 0 then
+    Dh_obs.Tracing.span ~arg:(string_of_int region.class_) "heap.map_region" (fun () ->
+        let len = region.capacity * Size_class.size region.class_ in
+        region.base <- Mem.mmap t.mem len;
+        if t.config.Config.replicated then
+          Mem.fill_random t.mem ~addr:region.base ~len t.rng)
 
 (* --- large objects (> 16 KB): individual mappings with guard pages --- *)
 
@@ -78,6 +103,12 @@ let malloc_large t sz =
     Mem.fill_random t.mem ~addr:payload ~len:body t.rng;
   t.large <- Imap.add payload { payload; size = body; map_base; map_len } t.large;
   Stats.on_malloc t.stats ~requested:sz ~reserved:body;
+  if Dh_obs.Control.enabled () then begin
+    Dh_obs.Metrics.observe
+      (Dh_obs.Metrics.histogram Dh_obs.Metrics.default "heap.malloc.bytes")
+      sz;
+    Dh_obs.Tracing.instant ~arg:(string_of_int sz) "heap.malloc.large"
+  end;
   Some payload
 
 (* freeLargeObject: only unmap objects our own table vouches for;
@@ -97,11 +128,25 @@ let large_containing t addr =
 
 (* --- small objects: randomized bitmap allocation (Figure 2) --- *)
 
+(* Telemetry for the small-object path: probe-count and request-size
+   distributions (§4.2's expected-probes analysis, observed live).  The
+   instruments are looked up by name per call, but only while enabled —
+   the disabled path is the one branch here. *)
+let observe_malloc ~probes ~bytes =
+  if Dh_obs.Control.enabled () then begin
+    let reg = Dh_obs.Metrics.default in
+    Dh_obs.Metrics.observe (Dh_obs.Metrics.histogram reg "heap.malloc.probes") probes;
+    Dh_obs.Metrics.observe (Dh_obs.Metrics.histogram reg "heap.malloc.bytes") bytes;
+    Dh_obs.Tracing.instant ~arg:(string_of_int bytes) "heap.malloc"
+  end
+
 let malloc_small t sz class_ =
   let region = t.regions.(class_) in
   if region.in_use >= region.threshold then begin
     (* At threshold: this size class offers no more memory (§4.2). *)
     t.stats.Stats.failed_mallocs <- t.stats.Stats.failed_mallocs + 1;
+    if Dh_obs.Control.enabled () then
+      Dh_obs.Tracing.instant ~arg:(string_of_int class_) "heap.exhausted";
     None
   end
   else begin
@@ -110,17 +155,18 @@ let malloc_small t sz class_ =
     (* Probe for a free slot, like probing into a hash table.  Because the
        region is at most 1/M full, the expected number of probes is
        1/(1 - 1/M). *)
-    let rec probe () =
-      t.stats.Stats.probes <- t.stats.Stats.probes + 1;
+    let rec probe n =
       let index = Mwc.below t.rng region.capacity in
-      if Bitmap.get region.bitmap index then probe () else index
+      if Bitmap.get region.bitmap index then probe (n + 1) else (index, n)
     in
-    let index = probe () in
+    let index, probes = probe 1 in
+    t.stats.Stats.probes <- t.stats.Stats.probes + probes;
     Bitmap.set region.bitmap index;
     region.in_use <- region.in_use + 1;
     let addr = region.base + (index * size) in
     if t.config.Config.replicated then Mem.fill_random t.mem ~addr ~len:size t.rng;
     Stats.on_malloc t.stats ~requested:sz ~reserved:size;
+    observe_malloc ~probes ~bytes:sz;
     Some addr
   end
 
@@ -162,7 +208,9 @@ let free t addr =
         if Bitmap.get region.bitmap index then begin
           Bitmap.clear region.bitmap index;
           region.in_use <- region.in_use - 1;
-          Stats.on_free t.stats ~reserved:size
+          Stats.on_free t.stats ~reserved:size;
+          if Dh_obs.Control.enabled () then
+            Dh_obs.Tracing.instant ~arg:(string_of_int size) "heap.free"
         end
         else t.stats.Stats.ignored_frees <- t.stats.Stats.ignored_frees + 1
       end

@@ -47,18 +47,29 @@ let run ?(config = Config.default) ?(replicas = 3)
        disagreeing replicas split 1-1 and the voter has no majority to commit \
        (the paper's quorum argument, \xc2\xa76); pass --replicas 1 or --replicas 3 \
        to `diehard replicate`";
+  (* Honor the config's obs knob for the duration of this run (telemetry
+     is write-only, so the run's result is unaffected). *)
+  let obs_was = Dh_obs.Control.enabled () in
+  if config.Config.obs then Dh_obs.Control.set_enabled true;
+  Fun.protect ~finally:(fun () -> Dh_obs.Control.set_enabled obs_was) @@ fun () ->
   (* Spawn a replica: run it to completion and precompute its barrier
      chunks (see the .mli for why this is equivalent to the paper's
      concurrent processes). *)
   let spawn rid seed =
-    let result = run_replica ~config ~seed ~input ~now ~fuel program in
-    let crashed =
-      match result.Process.outcome with
-      | Process.Exited _ -> false
-      | Process.Crashed _ | Process.Aborted _ | Process.Timeout -> true
-    in
-    ( { rid; chunks = Array.of_list (Voter.chunks_of_output ~crashed result.Process.output); crashed },
-      result )
+    Dh_obs.Tracing.span ~arg:(string_of_int rid) "replica.run" (fun () ->
+        let result = run_replica ~config ~seed ~input ~now ~fuel program in
+        let crashed =
+          match result.Process.outcome with
+          | Process.Exited _ -> false
+          | Process.Crashed _ | Process.Aborted _ | Process.Timeout -> true
+        in
+        ( {
+            rid;
+            chunks =
+              Array.of_list (Voter.chunks_of_output ~crashed result.Process.output);
+            crashed;
+          },
+          result ))
   in
   let roster : (int * int * Process.outcome) list ref = ref [] in
   let eliminated : (int, cause) Hashtbl.t = Hashtbl.create 8 in
@@ -151,10 +162,12 @@ let run ?(config = Config.default) ?(replicas = 3)
       in
       match Voter.vote ballots with
       | Voter.Unanimous chunk ->
+        Dh_obs.Tracing.instant ~arg:(string_of_int j) "voter.unanimous";
         Buffer.add_string committed chunk;
         committed_chunks := chunk :: !committed_chunks;
         incr barrier
       | Voter.Majority { chunk; losers } ->
+        Dh_obs.Tracing.instant ~arg:(string_of_int j) "voter.majority";
         Buffer.add_string committed chunk;
         committed_chunks := chunk :: !committed_chunks;
         List.iter
@@ -165,6 +178,7 @@ let run ?(config = Config.default) ?(replicas = 3)
         live := List.filter (fun l -> not (List.mem l.rid losers)) !live;
         incr barrier
       | Voter.No_quorum ->
+        Dh_obs.Tracing.instant ~arg:(string_of_int j) "voter.no_quorum";
         (* All live replicas differ pairwise.  With >= 3 of them this is
            the uninitialized-read signature; with fewer the voter simply
            cannot decide.  Replacement cannot help: fresh replicas would

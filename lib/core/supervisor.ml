@@ -42,6 +42,7 @@ type incident = {
   canary_violations : Canary.violation list;
   output : string option;
   total_fuel : int;
+  flight : Dh_obs.Recorder.report list;
 }
 
 (* Growth ceilings: the ladder expands the heap exponentially, so a long
@@ -102,17 +103,38 @@ let run ?(policy = default_policy) ?(config = Config.default)
     ?(wrap = fun _plan alloc -> alloc) program =
   if policy.max_retries < 0 then invalid_arg "Supervisor: max_retries must be >= 0";
   if policy.backoff < 1 then invalid_arg "Supervisor: backoff must be >= 1";
+  (* Honor the config's obs knob for the duration of this run (telemetry
+     is write-only, so the incident is unaffected apart from [flight]). *)
+  let obs_was = Dh_obs.Control.enabled () in
+  if config.Config.obs then Dh_obs.Control.set_enabled true;
+  Fun.protect ~finally:(fun () -> Dh_obs.Control.set_enabled obs_was) @@ fun () ->
   let attempt_under plan =
+    Dh_obs.Tracing.span ~arg:(string_of_int plan.attempt) "supervisor.attempt"
+    @@ fun () ->
     let alloc = wrap plan (build_alloc plan) in
     let result, fuel_burned =
       execute ~policy_kind ~input ~now ~fuel:policy.fuel program alloc
     in
     let ok = success result in
+    (* A memory fault has already been captured at raise time by [Mem];
+       failures without a fault (abort, fuel exhaustion, bad exit code)
+       are captured here so every failed rung leaves a flight record. *)
+    (if (not ok) && Dh_obs.Control.enabled () then
+       match result.Process.outcome with
+       | Process.Crashed _ -> ()
+       | outcome ->
+         Dh_obs.Recorder.trigger
+           ~reason:
+             (Format.asprintf "supervisor attempt %d failed: %a" plan.attempt
+                Process.pp_outcome outcome)
+           ());
     ({ plan; outcome = result.Process.outcome; ok; fuel_burned }, result)
   in
   (* Replay the failed attempt — same seed, same heap shape, same wrap —
      under canary instrumentation, purely to classify the fault. *)
   let diagnose_replay plan (failed : attempt_report) =
+    Dh_obs.Tracing.span ~arg:(string_of_int plan.attempt) "supervisor.diagnose"
+    @@ fun () ->
     let plan = { plan with mode = Randomized } in
     let mem = Dh_mem.Mem.create () in
     let cfg =
@@ -183,6 +205,9 @@ let run ?(policy = default_policy) ?(config = Config.default)
     canary_violations;
     output;
     total_fuel = List.fold_left (fun acc a -> acc + a.fuel_burned) diag_fuel attempts;
+    (* Drain the flight recorder into the incident; [] when disabled, so
+       incidents compare equal across runs that never enabled obs. *)
+    flight = Dh_obs.Recorder.take ();
   }
 
 (* --- reporting --- *)
@@ -220,4 +245,10 @@ let pp_incident ppf i =
       (if List.length i.canary_violations = 1 then "" else "s");
     List.iter
       (fun v -> Format.fprintf ppf "    %a@." Canary.pp_violation v)
-      i.canary_violations)
+      i.canary_violations);
+  match i.flight with
+  | [] -> ()
+  | reports ->
+    Format.fprintf ppf "  flight recorder: %d capture%s@." (List.length reports)
+      (if List.length reports = 1 then "" else "s");
+    List.iter (fun r -> Format.fprintf ppf "%a" Dh_obs.Recorder.pp_report r) reports

@@ -80,6 +80,11 @@ type incident = {
   canary_violations : Dh_alloc.Canary.violation list;
   output : string option;  (** Output of the surviving attempt. *)
   total_fuel : int;  (** Across all attempts and the diagnosis replay. *)
+  flight : Dh_obs.Recorder.report list;
+      (** Flight-recorder captures drained at the end of the run: one
+          per memory fault raised and one per non-crash failed rung.
+          Always [[]] when observability is disabled, so incidents from
+          un-instrumented runs compare structurally equal. *)
 }
 
 val run :

@@ -32,8 +32,11 @@ let error_to_string (Tracing_failed { outcome; _ }) =
 let run ?(input = "") ?(fuel = 50_000_000) ?(jobs = 1) ~trials ~spec ~make_alloc
     program =
   (* 1. tracing run: obtain the allocation log *)
-  let tracer, traced_alloc = Trace.wrap (make_alloc ~trial:0) in
-  let trace_result = Program.run ~input ~fuel program traced_alloc in
+  let trace_result, tracer =
+    Dh_obs.Tracing.span "campaign.trace" (fun () ->
+        let tracer, traced_alloc = Trace.wrap (make_alloc ~trial:0) in
+        (Program.run ~input ~fuel program traced_alloc, tracer))
+  in
   match trace_result.Process.outcome with
   | Process.Exited 0 ->
     let log = Trace.lifetimes tracer in
@@ -48,6 +51,8 @@ let run ?(input = "") ?(fuel = 50_000_000) ?(jobs = 1) ~trials ~spec ~make_alloc
       Array.to_list
         (Dh_parallel.Pool.init ~pool trials (fun i ->
              let trial = i + 1 in
+             Dh_obs.Tracing.span ~arg:(string_of_int trial) "campaign.trial"
+             @@ fun () ->
              let alloc = make_alloc ~trial in
              let _, injected =
                Injector.wrap
@@ -55,7 +60,19 @@ let run ?(input = "") ?(fuel = 50_000_000) ?(jobs = 1) ~trials ~spec ~make_alloc
                  ~log alloc
              in
              let result = Program.run ~input ~fuel program injected in
-             classify ~reference result))
+             let c = classify ~reference result in
+             (if Dh_obs.Control.enabled () then
+                let name =
+                  match c with
+                  | Correct -> "campaign.correct"
+                  | Wrong_output -> "campaign.wrong_output"
+                  | Crashed -> "campaign.crashed"
+                  | Aborted -> "campaign.aborted"
+                  | Timed_out -> "campaign.timed_out"
+                in
+                Dh_obs.Metrics.incr
+                  (Dh_obs.Metrics.counter Dh_obs.Metrics.default name));
+             c))
     in
     let count c = List.length (List.filter (fun x -> x = c) runs) in
     Ok

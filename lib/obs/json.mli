@@ -1,0 +1,25 @@
+(** A minimal JSON parser, used to validate the telemetry the repository
+    emits ({!Tracing.to_chrome_json}, the bench report) without pulling
+    in a JSON dependency.  Strict on structure, lenient on nothing:
+    trailing garbage, unterminated strings and malformed numbers are
+    errors. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value spanning the whole input (surrounding
+    whitespace allowed).  The error names the byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] elsewhere. *)
+
+val to_list : t -> t list
+(** The elements of a [List]; [[]] elsewhere. *)
+
+val string_value : t -> string option

@@ -1,0 +1,162 @@
+let shard_count = 16 (* power of two: shard index is domain id land 15 *)
+let bucket_count = 64
+
+let shard () = (Domain.self () :> int) land (shard_count - 1)
+
+type counter = int Atomic.t array
+
+type gauge = Cell of int Atomic.t | Callback of (unit -> int)
+
+type histogram = {
+  counts : int Atomic.t array array;  (* [shard].(bucket) *)
+  sums : int Atomic.t array;  (* [shard] *)
+}
+
+type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { items : (string, instrument) Hashtbl.t; lock : Mutex.t }
+
+let create () = { items = Hashtbl.create 64; lock = Mutex.create () }
+
+let default = create ()
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+(* Get-or-create under the registry lock.  Only instrument creation and
+   dumping take the lock; recording goes straight to the shards. *)
+let intern t name make select =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.items name with
+      | Some existing -> (
+        match select existing with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as a %s" name
+               (kind_name existing)))
+      | None ->
+        let fresh = make () in
+        Hashtbl.replace t.items name fresh;
+        match select fresh with Some v -> v | None -> assert false)
+
+let atomic_array n = Array.init n (fun _ -> Atomic.make 0)
+
+let counter t name =
+  intern t name
+    (fun () -> Counter (atomic_array shard_count))
+    (function Counter c -> Some c | _ -> None)
+
+let add c n = if Control.enabled () then ignore (Atomic.fetch_and_add c.(shard ()) n)
+let incr c = add c 1
+let counter_value c = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c
+
+let gauge t name =
+  intern t name
+    (fun () -> Gauge (Cell (Atomic.make 0)))
+    (function Gauge (Cell _ as g) -> Some g | _ -> None)
+
+let set g n =
+  if Control.enabled () then match g with Cell a -> Atomic.set a n | Callback _ -> ()
+
+let gauge_read = function
+  | Cell a -> Atomic.get a
+  | Callback f -> ( try f () with _ -> 0)
+
+let gauge_value = gauge_read
+
+(* Callback gauges replace unconditionally: the newest component of a
+   given name is the one the dump reflects. *)
+let gauge_fn t name f =
+  Mutex.protect t.lock (fun () -> Hashtbl.replace t.items name (Gauge (Callback f)))
+
+let histogram t name =
+  intern t name
+    (fun () ->
+      Histogram
+        {
+          counts = Array.init shard_count (fun _ -> atomic_array bucket_count);
+          sums = atomic_array shard_count;
+        })
+    (function Histogram h -> Some h | _ -> None)
+
+let bucket_of v =
+  if v < 0 then invalid_arg "Metrics.bucket_of: negative sample";
+  (* bucket = number of significant bits: 0 -> 0, 1 -> 1, 2..3 -> 2, ... *)
+  let rec go bits v = if v = 0 then bits else go (bits + 1) (v lsr 1) in
+  go 0 v
+
+let observe h v =
+  if Control.enabled () then begin
+    let bucket = bucket_of v in
+    let s = shard () in
+    ignore (Atomic.fetch_and_add h.counts.(s).(bucket) 1);
+    ignore (Atomic.fetch_and_add h.sums.(s) v)
+  end
+
+let histogram_sum h = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 h.sums
+
+let histogram_buckets h =
+  Array.init bucket_count (fun b ->
+      Array.fold_left (fun acc shard -> acc + Atomic.get shard.(b)) 0 h.counts)
+
+let histogram_total h =
+  Array.fold_left ( + ) 0 (histogram_buckets h)
+
+type row = { name : string; kind : string; value : int; detail : string }
+
+let histogram_detail h =
+  let buckets = histogram_buckets h in
+  let total = Array.fold_left ( + ) 0 buckets in
+  let sum = histogram_sum h in
+  let nonzero = ref [] in
+  Array.iteri (fun b n -> if n > 0 then nonzero := Printf.sprintf "b%d:%d" b n :: !nonzero) buckets;
+  let mean = if total = 0 then 0. else float_of_int sum /. float_of_int total in
+  Printf.sprintf "sum=%d mean=%.1f buckets=%s" sum mean
+    (String.concat ";" (List.rev !nonzero))
+
+let dump t =
+  let rows =
+    Mutex.protect t.lock (fun () ->
+        Hashtbl.fold (fun name inst acc -> (name, inst) :: acc) t.items [])
+  in
+  List.sort compare
+    (List.map
+       (fun (name, inst) ->
+         match inst with
+         | Counter c -> { name; kind = "counter"; value = counter_value c; detail = "" }
+         | Gauge g -> { name; kind = "gauge"; value = gauge_read g; detail = "" }
+         | Histogram h ->
+           {
+             name;
+             kind = "histogram";
+             value = histogram_total h;
+             detail = histogram_detail h;
+           })
+       rows)
+
+(* CSV cells are names, kinds, ints and "k=v;..." details: no quoting
+   needed beyond defence against a stray comma. *)
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "name,kind,value,detail\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "%s,%s,%d,%s\n" (csv_cell r.name) r.kind r.value
+           (csv_cell r.detail)))
+    (dump t);
+  Buffer.contents b
+
+let write_csv ~path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv t))
+
+let reset t = Mutex.protect t.lock (fun () -> Hashtbl.reset t.items)

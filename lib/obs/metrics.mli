@@ -1,0 +1,99 @@
+(** Metrics registry: named counters, gauges and log2-bucketed
+    histograms.
+
+    Counters and histograms are sharded: each recording domain writes to
+    the shard indexed by its domain id, and shards are merged only when a
+    value is read.  Two domains contend on a shard only if their ids
+    collide modulo {!shard_count}, so the pool's hot paths never
+    serialize on a metric.  All recording is a no-op while
+    {!Control.enabled} is false.
+
+    Instruments are get-or-create by name: creating ["heap.malloc.bytes"]
+    twice returns the same histogram, so short-lived components (one heap
+    per campaign trial) accumulate into one series.  Callback gauges are
+    the exception: re-registering a name replaces the callback, so a
+    gauge tracks the most recently created component. *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry; everything in the repository publishes
+    here unless told otherwise. *)
+
+val shard_count : int
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Get or create. Raises [Invalid_argument] if the name exists with a
+    different kind. *)
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+val counter_value : counter -> int  (** Sum over shards. *)
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val gauge_fn : t -> string -> (unit -> int) -> unit
+(** Register (or replace) a callback gauge, read at dump time.  A
+    callback that raises reads as 0. *)
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram : t -> string -> histogram
+
+val bucket_of : int -> int
+(** [bucket_of v] for [v >= 0] is the log2 bucket index: 0 for 0, and
+    [floor (log2 v) + 1] otherwise (1 -> 1, 2..3 -> 2, 4..7 -> 3, ...,
+    [max_int] -> 62).  Raises [Invalid_argument] on negative values. *)
+
+val bucket_count : int  (** 64: every non-negative OCaml int fits. *)
+
+val observe : histogram -> int -> unit
+(** Record a sample.  Raises [Invalid_argument] on negative samples
+    (even though recording itself is skipped when disabled, the sign
+    check only runs while enabled). *)
+
+val histogram_sum : histogram -> int
+
+val histogram_total : histogram -> int
+(** Number of samples. *)
+
+val histogram_buckets : histogram -> int array
+(** Merged shards. *)
+
+(** {1 Reading} *)
+
+type row = {
+  name : string;
+  kind : string;  (** ["counter"], ["gauge"] or ["histogram"]. *)
+  value : int;  (** Counter sum, gauge value, or histogram sample count. *)
+  detail : string;
+      (** Histograms: ["sum=S mean=M buckets=b1:n1;b4:n4"]; empty
+          otherwise. *)
+}
+
+val dump : t -> row list
+(** Snapshot of every instrument, sorted by name. *)
+
+val to_csv : t -> string
+(** The dump as CSV with a ["name,kind,value,detail"] header — the
+    machine-readable twin of the bench report tables. *)
+
+val write_csv : path:string -> t -> unit
+
+val reset : t -> unit
+(** Drop every instrument (tests). *)

@@ -1,0 +1,110 @@
+type section = { title : string; body : string }
+
+type report = {
+  seq : int;
+  at_us : int;
+  reason : string;
+  events : Tracing.event list;
+  metrics : Metrics.row list;
+  sections : section list;
+}
+
+let window = 64
+let max_reports = 16
+let max_providers = 32
+
+(* Context providers and the report queue share one lock; captures are
+   cold (they happen on faults), so contention is irrelevant. *)
+let lock = Mutex.create ()
+let providers : (string * (unit -> string)) list ref = ref []  (* newest first *)
+let queue : report list ref = ref []  (* newest first *)
+let next_seq = ref 0
+
+let register_context name f =
+  Mutex.protect lock (fun () ->
+      let others = List.filter (fun (n, _) -> n <> name) !providers in
+      let kept =
+        if List.length others >= max_providers then
+          List.filteri (fun i _ -> i < max_providers - 1) others
+        else others
+      in
+      providers := (name, f) :: kept)
+
+let unregister_context name =
+  Mutex.protect lock (fun () ->
+      providers := List.filter (fun (n, _) -> n <> name) !providers)
+
+let run_provider (name, f) =
+  let body =
+    try f ()
+    with e -> Printf.sprintf "<context provider raised: %s>" (Printexc.to_string e)
+  in
+  { title = name; body }
+
+let trigger ?(sections = []) ~reason () =
+  if Control.enabled () then begin
+    let provided = Mutex.protect lock (fun () -> List.rev !providers) in
+    let report =
+      {
+        seq = 0;  (* seq and at_us are patched under the lock below *)
+        at_us = 0;
+        reason;
+        events = Tracing.last_events window;
+        metrics = Metrics.dump Metrics.default;
+        sections = sections @ List.map run_provider provided;
+      }
+    in
+    Mutex.protect lock (fun () ->
+        let seq = !next_seq in
+        incr next_seq;
+        let at_us =
+          match List.rev report.events with e :: _ -> e.Tracing.ts | [] -> 0
+        in
+        let trimmed =
+          if List.length !queue >= max_reports then
+            List.filteri (fun i _ -> i < max_reports - 1) !queue
+          else !queue
+        in
+        queue := { report with seq; at_us } :: trimmed)
+  end
+
+let reports () = Mutex.protect lock (fun () -> List.rev !queue)
+
+let take () =
+  Mutex.protect lock (fun () ->
+      let r = List.rev !queue in
+      queue := [];
+      r)
+
+let last () = Mutex.protect lock (fun () -> match !queue with r :: _ -> Some r | [] -> None)
+
+let clear () =
+  Mutex.protect lock (fun () ->
+      queue := [];
+      providers := [])
+
+let pp_report ppf r =
+  Format.fprintf ppf "flight record #%d at %d us: %s@." r.seq r.at_us r.reason;
+  if r.events <> [] then begin
+    Format.fprintf ppf "  last %d trace events:@." (List.length r.events);
+    List.iter (fun e -> Format.fprintf ppf "    %a@." Tracing.pp_event e) r.events
+  end;
+  List.iter
+    (fun s ->
+      if s.body <> "" then begin
+        Format.fprintf ppf "  %s:@." s.title;
+        String.split_on_char '\n' s.body
+        |> List.iter (fun line -> if line <> "" then Format.fprintf ppf "    %s@." line)
+      end)
+    r.sections;
+  let interesting =
+    List.filter (fun (m : Metrics.row) -> m.Metrics.value <> 0) r.metrics
+  in
+  if interesting <> [] then begin
+    Format.fprintf ppf "  metrics (%d non-zero):@." (List.length interesting);
+    List.iter
+      (fun (m : Metrics.row) ->
+        Format.fprintf ppf "    %-32s %-9s %d@." m.Metrics.name m.Metrics.kind
+          m.Metrics.value)
+      interesting
+  end

@@ -1,0 +1,54 @@
+(** Fault flight recorder.
+
+    When a simulated memory fault is raised, or a supervisor attempt
+    dies, the instrumented layers call {!trigger}: the recorder
+    snapshots the last {!window} trace events, the live metrics, and
+    whatever context the running components have registered (heap
+    occupancy per size class, the faulting address's neighborhood) into
+    a structured {!report}.  Reports accumulate in a bounded queue that
+    {!Supervisor} drains into its incidents and the CLI prints.
+
+    Everything is a no-op while {!Control.enabled} is false. *)
+
+type section = { title : string; body : string }
+
+type report = {
+  seq : int;  (** Capture sequence number (process-wide). *)
+  at_us : int;  (** Tracing-clock timestamp of the capture. *)
+  reason : string;
+  events : Tracing.event list;  (** The last {!window} trace events. *)
+  metrics : Metrics.row list;  (** Snapshot of {!Metrics.default}. *)
+  sections : section list;
+      (** Caller-supplied sections first, then one section per
+          registered context provider. *)
+}
+
+val window : int
+(** Trace events captured per report (64). *)
+
+val max_reports : int
+(** Reports retained; older ones are dropped (16). *)
+
+val register_context : string -> (unit -> string) -> unit
+(** [register_context name f] makes every subsequent capture include a
+    section [name] with body [f ()].  Re-registering a name replaces the
+    provider (so the newest heap owns ["heap.occupancy"]); at most 32
+    providers are kept, oldest evicted first.  A provider that raises
+    contributes an error note instead of taking the capture down. *)
+
+val unregister_context : string -> unit
+
+val trigger : ?sections:section list -> reason:string -> unit -> unit
+(** Capture a report now.  No-op when observability is disabled. *)
+
+val reports : unit -> report list  (** Oldest first. *)
+
+val take : unit -> report list
+(** Drain: return the retained reports (oldest first) and clear them. *)
+
+val last : unit -> report option
+val clear : unit -> unit  (** Drop reports and context providers. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Multi-line: reason, recent events, non-empty sections, and a short
+    metrics digest. *)

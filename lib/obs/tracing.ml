@@ -1,0 +1,139 @@
+type phase = Begin | End | Instant
+
+type event = { ts : int; dom : int; phase : phase; name : string; arg : string }
+
+let ring_capacity = 4096
+
+(* Timestamps are microseconds since the module was initialised;
+   gettimeofday is not strictly monotonic but is in practice on the
+   machines this simulator runs on, and the sort on read tolerates the
+   odd equal stamp. *)
+let epoch = Unix.gettimeofday ()
+let now_us () = int_of_float ((Unix.gettimeofday () -. epoch) *. 1e6)
+
+type ring = {
+  dom : int;
+  events : event option array;
+  mutable n : int;  (* total events ever written to this ring *)
+}
+
+(* Ring registry: appended to when a domain records its first event,
+   never removed from (a dead domain's ring keeps its tail of events,
+   which the flight recorder may still want).  The mutex guards only
+   registration and the snapshot taken by [rings ()]. *)
+let registry : ring list ref = ref []
+let registry_lock = Mutex.create ()
+
+let ring_key =
+  Domain.DLS.new_key (fun () ->
+      let r =
+        {
+          dom = (Domain.self () :> int);
+          events = Array.make ring_capacity None;
+          n = 0;
+        }
+      in
+      Mutex.protect registry_lock (fun () -> registry := r :: !registry);
+      r)
+
+let record phase name arg =
+  let r = Domain.DLS.get ring_key in
+  r.events.(r.n mod ring_capacity) <-
+    Some { ts = now_us (); dom = r.dom; phase; name; arg };
+  r.n <- r.n + 1
+
+let begin_ ?(arg = "") name = if Control.enabled () then record Begin name arg
+let end_ name = if Control.enabled () then record End name ""
+let instant ?(arg = "") name = if Control.enabled () then record Instant name arg
+
+let span ?arg name f =
+  if not (Control.enabled ()) then f ()
+  else begin
+    record Begin name (Option.value arg ~default:"");
+    Fun.protect ~finally:(fun () -> record End name "") f
+  end
+
+let rings () = Mutex.protect registry_lock (fun () -> !registry)
+
+let ring_events r =
+  let n = r.n in
+  let kept = min n ring_capacity in
+  let first = n - kept in
+  List.filter_map
+    (fun i -> r.events.(i mod ring_capacity))
+    (List.init kept (fun k -> first + k))
+
+let events () =
+  List.sort
+    (fun a b -> compare (a.ts, a.dom) (b.ts, b.dom))
+    (List.concat_map ring_events (rings ()))
+
+let last_events n =
+  let all = events () in
+  let len = List.length all in
+  if len <= n then all else List.filteri (fun i _ -> i >= len - n) all
+
+let recorded () = List.fold_left (fun acc r -> acc + r.n) 0 (rings ())
+
+let dropped () =
+  List.fold_left (fun acc r -> acc + max 0 (r.n - ring_capacity)) 0 (rings ())
+
+let reset () =
+  List.iter
+    (fun r ->
+      Array.fill r.events 0 ring_capacity None;
+      r.n <- 0)
+    (rings ())
+
+(* --- export --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let phase_letter = function Begin -> "B" | End -> "E" | Instant -> "i"
+
+let to_chrome_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "{\"name\":\"%s\",\"cat\":\"diehard\",\"ph\":\"%s\",\"ts\":%d,\"pid\":1,\"tid\":%d"
+        (json_escape e.name) (phase_letter e.phase) e.ts e.dom;
+      (match e.phase with
+      | Instant -> Buffer.add_string b ",\"s\":\"t\""
+      | Begin | End -> ());
+      if e.arg <> "" then Printf.bprintf b ",\"args\":{\"arg\":\"%s\"}" (json_escape e.arg);
+      Buffer.add_char b '}')
+    (events ());
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+let write_chrome_json ~path () =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json ()))
+
+let pp_event ppf e =
+  Format.fprintf ppf "%10d us  d%-3d %-2s %s%s" e.ts e.dom
+    (match e.phase with Begin -> "B" | End -> "E" | Instant -> "i")
+    e.name
+    (if e.arg = "" then "" else " [" ^ e.arg ^ "]")
+
+let to_text () =
+  let b = Buffer.create 1024 in
+  List.iter (fun e -> Buffer.add_string b (Format.asprintf "%a@." pp_event e)) (events ());
+  Buffer.contents b

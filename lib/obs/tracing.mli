@@ -1,0 +1,62 @@
+(** Span tracing: a lock-free per-domain ring buffer of begin/end/instant
+    events with monotonic-in-practice timestamps.
+
+    Each domain records into its own fixed-capacity ring (reached through
+    domain-local storage), so recording never synchronizes with other
+    domains; the ring overwrites its oldest events when full, which is
+    exactly the window the {!Recorder} flight recorder wants.  Reads
+    ({!events}, {!to_chrome_json}) merge every ring and sort by
+    timestamp; they are intended for quiescent moments (process exit, a
+    fault capture) and tolerate concurrent writers by accepting a
+    slightly stale tail.
+
+    All recording is a no-op while {!Control.enabled} is false. *)
+
+type phase = Begin | End | Instant
+
+type event = {
+  ts : int;  (** Microseconds since the process started tracing. *)
+  dom : int;  (** Recording domain's id. *)
+  phase : phase;
+  name : string;
+  arg : string;  (** Free-form annotation; [""] when absent. *)
+}
+
+val ring_capacity : int
+(** Events retained per domain (the oldest are overwritten). *)
+
+val begin_ : ?arg:string -> string -> unit
+val end_ : string -> unit
+val instant : ?arg:string -> string -> unit
+
+val span : ?arg:string -> string -> (unit -> 'a) -> 'a
+(** [span name f] brackets [f] with begin/end events (exception-safe).
+    When tracing is disabled this is [f ()] plus one branch. *)
+
+val events : unit -> event list
+(** Every retained event across all domains, in timestamp order. *)
+
+val last_events : int -> event list
+(** The most recent [n] retained events, in timestamp order. *)
+
+val recorded : unit -> int
+(** Total events recorded since the last {!reset}, including ones the
+    rings have since overwritten. *)
+
+val dropped : unit -> int
+(** Events lost to ring overwrite since the last {!reset}. *)
+
+val reset : unit -> unit
+(** Empty every ring (the rings themselves persist with their domains). *)
+
+val to_chrome_json : unit -> string
+(** The merged events as Chrome [trace_event] JSON (an object with a
+    [traceEvents] array of [B]/[E]/[i] events; load it at
+    [chrome://tracing] or in Perfetto). *)
+
+val write_chrome_json : path:string -> unit -> unit
+
+val to_text : unit -> string
+(** One line per event: [ts dom phase name arg]. *)
+
+val pp_event : Format.formatter -> event -> unit

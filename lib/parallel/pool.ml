@@ -39,11 +39,15 @@ let par_map_array ~jobs f items =
       let start = Atomic.fetch_and_add next chunk in
       if start >= n then continue := false
       else
-        for i = start to min n (start + chunk) - 1 do
-          match f items.(i) with
-          | v -> results.(i) <- Some v
-          | exception e -> errors.(i) <- Some e
-        done
+        Dh_obs.Tracing.span ~arg:(string_of_int start) "pool.chunk" (fun () ->
+            if Dh_obs.Control.enabled () then
+              Dh_obs.Metrics.incr
+                (Dh_obs.Metrics.counter Dh_obs.Metrics.default "pool.chunks");
+            for i = start to min n (start + chunk) - 1 do
+              match f items.(i) with
+              | v -> results.(i) <- Some v
+              | exception e -> errors.(i) <- Some e
+            done)
     done
   in
   let helpers = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in

@@ -53,7 +53,23 @@ type t = {
   mutable cache_misses : int;
 }
 
+(* TLB/cache accounting publishes through the metrics registry as
+   callback gauges: zero cost on the access hot paths, and the dump
+   always reflects the most recently created address space (campaigns
+   create one per trial; the CLI creates exactly one). *)
+let publish_metrics t =
+  let g name f = Dh_obs.Metrics.gauge_fn Dh_obs.Metrics.default ("mem." ^ name) f in
+  g "reads" (fun () -> t.reads);
+  g "writes" (fun () -> t.writes);
+  g "mmaps" (fun () -> t.mmaps);
+  g "munmaps" (fun () -> t.munmaps);
+  g "tlb_misses" (fun () -> t.tlb_misses);
+  g "cache_misses" (fun () -> t.cache_misses);
+  g "touched_pages" (fun () -> t.touched_pages);
+  g "mapped_bytes" (fun () -> Imap.fold (fun _ seg acc -> acc + seg.len) t.segments 0)
+
 let create () =
+  let t =
   {
     segments = Imap.empty;
     next_base = 16 * page_size;  (* keep a NULL-guard zone at the bottom *)
@@ -68,6 +84,9 @@ let create () =
     dcache = Array.make cache_lines (-1);
     cache_misses = 0;
   }
+  in
+  if Dh_obs.Control.enabled () then publish_metrics t;
+  t
 
 (* --- the locality model ---
 
@@ -126,16 +145,6 @@ let mmap t ?(prot = Read_write) len =
   t.mmaps <- t.mmaps + 1;
   base
 
-let munmap t base =
-  match Imap.find_opt base t.segments with
-  | None -> Fault.raise_fault (Fault.Unmap_unmapped { addr = base })
-  | Some seg ->
-    t.segments <- Imap.remove base t.segments;
-    t.munmaps <- t.munmaps + 1;
-    (match t.cache with
-    | Some c when c.base = seg.base -> t.cache <- None
-    | Some _ | None -> ())
-
 let find_segment t addr =
   match t.cache with
   | Some seg when addr >= seg.base && addr < seg.base + seg.len -> Some seg
@@ -155,13 +164,87 @@ let is_mapped t addr = Option.is_some (find_segment t addr)
 
 let mapped_bytes t = Imap.fold (fun _ seg acc -> acc + seg.len) t.segments 0
 
+(* --- flight-recorder hook ---
+
+   Faults are cold, so this is the one place the simulator talks to the
+   observability layer on behalf of the program being simulated: when a
+   fault is about to be raised (and telemetry is on), capture the
+   faulting address's neighborhood into the flight recorder before the
+   exception unwinds and the evidence goes stale. *)
+
+let fault_addr_of = function
+  | Fault.Unmapped { addr; _ }
+  | Fault.Protection { addr; _ }
+  | Fault.Unmap_unmapped { addr }
+  | Fault.Protect_unmapped { fault_addr = addr; _ } -> addr
+
+(* Hex dump of the bytes around [center], read straight from the backing
+   store: no protection checks, no cost-model charging — the recorder
+   must not perturb what it observes. *)
+let neighborhood t center =
+  match find_segment t center with
+  | None ->
+    let nearest =
+      Imap.fold
+        (fun base seg acc ->
+          let d = min (abs (center - base)) (abs (center - (base + seg.len))) in
+          match acc with Some (best, _) when best <= d -> acc | _ -> Some (d, seg))
+        t.segments None
+    in
+    (match nearest with
+    | None -> Printf.sprintf "0x%x is unmapped (no segments mapped)" center
+    | Some (_, seg) ->
+      Printf.sprintf "0x%x is unmapped; nearest segment [0x%x, 0x%x) (%d bytes)"
+        center seg.base (seg.base + seg.len) seg.len)
+  | Some seg ->
+    let lo = max seg.base (center - 64) in
+    let hi = min (seg.base + seg.len) (center + 64) in
+    let b = Buffer.create 512 in
+    Printf.bprintf b "segment [0x%x, 0x%x); 16 bytes per row, * marks 0x%x\n"
+      seg.base (seg.base + seg.len) center;
+    let row = ref (lo - (lo mod 16)) in
+    while !row < hi do
+      Printf.bprintf b "%c 0x%08x " (if center - !row >= 0 && center - !row < 16 then '*' else ' ') !row;
+      for i = 0 to 15 do
+        let a = !row + i in
+        if a < lo || a >= hi then Buffer.add_string b " .."
+        else Printf.bprintf b " %02x" (Char.code (Bytes.get seg.data (a - seg.base)))
+      done;
+      Buffer.add_char b '\n';
+      row := !row + 16
+    done;
+    Buffer.contents b
+
+let raise_fault t f =
+  if Dh_obs.Control.enabled () then
+    Dh_obs.Recorder.trigger
+      ~sections:
+        [
+          {
+            Dh_obs.Recorder.title = "fault neighborhood";
+            body = neighborhood t (fault_addr_of f);
+          };
+        ]
+      ~reason:(Fault.to_string f) ();
+  Fault.raise_fault f
+
+let munmap t base =
+  match Imap.find_opt base t.segments with
+  | None -> raise_fault t (Fault.Unmap_unmapped { addr = base })
+  | Some seg ->
+    t.segments <- Imap.remove base t.segments;
+    t.munmaps <- t.munmaps + 1;
+    (match t.cache with
+    | Some c when c.base = seg.base -> t.cache <- None
+    | Some _ | None -> ())
+
 let protect t ~addr ~len prot =
   if len <= 0 then invalid_arg "Mem.protect: length must be positive";
   match find_segment t addr with
-  | None -> Fault.raise_fault (Fault.Protect_unmapped { addr; len; fault_addr = addr })
+  | None -> raise_fault t (Fault.Protect_unmapped { addr; len; fault_addr = addr })
   | Some seg ->
     if addr + len > seg.base + seg.len then
-      Fault.raise_fault
+      raise_fault t
         (Fault.Protect_unmapped { addr; len; fault_addr = seg.base + seg.len });
     let first = (addr - seg.base) / page_size in
     let last = (addr + len - 1 - seg.base) / page_size in
@@ -185,11 +268,11 @@ let mark_touched t seg page =
 let check t addr access =
   charge_byte t addr;
   match find_segment t addr with
-  | None -> Fault.raise_fault (Fault.Unmapped { addr; access })
+  | None -> raise_fault t (Fault.Unmapped { addr; access })
   | Some seg ->
     let page = (addr - seg.base) lsr page_shift in
     if not (prot_allows seg.prot.(page) access) then
-      Fault.raise_fault (Fault.Protection { addr; access });
+      raise_fault t (Fault.Protection { addr; access });
     (match access with
     | Fault.Write -> mark_touched t seg page
     | Fault.Read -> ());
@@ -227,7 +310,7 @@ let validate t ~addr ~len access =
       match find_segment t pos with
       | None ->
         charge_byte t pos;
-        Fault.raise_fault (Fault.Unmapped { addr = pos; access })
+        raise_fault t (Fault.Unmapped { addr = pos; access })
       | Some seg ->
         let seg_end = seg.base + seg.len in
         let run_end = min fin seg_end in
@@ -239,7 +322,7 @@ let validate t ~addr ~len access =
           touch_page t (page_first lsr page_shift);
           if not (prot_allows seg.prot.(p) access) then begin
             touch_line t (page_first lsr cache_line_shift);
-            Fault.raise_fault (Fault.Protection { addr = page_first; access })
+            raise_fault t (Fault.Protection { addr = page_first; access })
           end;
           let page_last = min (run_end - 1) (page_base + page_size - 1) in
           charge_lines t ~first:page_first ~last:page_last
@@ -276,7 +359,7 @@ let word_check t seg addr access =
   touch_page t (addr lsr page_shift);
   touch_line t (addr lsr cache_line_shift);
   if not (prot_allows seg.prot.(p0) access) then
-    Fault.raise_fault (Fault.Protection { addr; access });
+    raise_fault t (Fault.Protection { addr; access });
   if p1 <> p0 then begin
     (* The first byte of the second page is where a bytewise walk would
        fault; charge and check it as such. *)
@@ -284,7 +367,7 @@ let word_check t seg addr access =
     touch_page t (q lsr page_shift);
     touch_line t (q lsr cache_line_shift);
     if not (prot_allows seg.prot.(p1) access) then
-      Fault.raise_fault (Fault.Protection { addr = q; access })
+      raise_fault t (Fault.Protection { addr = q; access })
   end
   else if last lsr cache_line_shift <> addr lsr cache_line_shift then
     touch_line t (last lsr cache_line_shift);
@@ -378,13 +461,13 @@ let cstring ?limit t addr =
       match find_segment t pos with
       | None ->
         charge_byte t pos;
-        Fault.raise_fault (Fault.Unmapped { addr = pos; access = Fault.Read })
+        raise_fault t (Fault.Unmapped { addr = pos; access = Fault.Read })
       | Some seg ->
         let page = (pos - seg.base) lsr page_shift in
         touch_page t (pos lsr page_shift);
         if not (prot_allows seg.prot.(page) Fault.Read) then begin
           touch_line t (pos lsr cache_line_shift);
-          Fault.raise_fault (Fault.Protection { addr = pos; access = Fault.Read })
+          raise_fault t (Fault.Protection { addr = pos; access = Fault.Read })
         end;
         let page_end =
           min (seg.base + ((page + 1) lsl page_shift)) (seg.base + seg.len)
@@ -424,3 +507,17 @@ let stats t =
   }
 
 let touched_pages t = t.touched_pages
+
+let pp_stats ppf (s : stats) =
+  let accesses = s.reads + s.writes in
+  (* Guard the derived hit rates: an empty run has no accesses, and
+     0/0 must print as "-" rather than nan. *)
+  let hit misses =
+    if accesses = 0 then "-"
+    else
+      Printf.sprintf "%.1f%%"
+        (100. *. (1. -. (float_of_int misses /. float_of_int accesses)))
+  in
+  Format.fprintf ppf
+    "reads=%d writes=%d mmaps=%d munmaps=%d tlb-hit=%s cache-hit=%s" s.reads
+    s.writes s.mmaps s.munmaps (hit s.tlb_misses) (hit s.cache_misses)

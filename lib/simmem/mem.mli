@@ -120,6 +120,16 @@ type stats = {
 
 val stats : t -> stats
 
+val pp_stats : Format.formatter -> stats -> unit
+(** Operation counts plus derived TLB/cache hit rates; the rates print
+    as ["-"] on an empty run (no division by zero). *)
+
+val publish_metrics : t -> unit
+(** Register this address space's counters as callback gauges
+    (["mem.reads"], ["mem.tlb_misses"], ...) on {!Dh_obs.Metrics.default}.
+    Called automatically by {!create} when {!Dh_obs.Control.enabled};
+    the registry reflects the most recently published space. *)
+
 val touched_pages : t -> int
 (** Number of distinct pages ever written — the proxy this simulation uses
     for resident-set size / page-level locality (paper §4.5 discusses

@@ -1,0 +1,323 @@
+(* Tests for the Dh_obs telemetry stack: metrics registry bucketing and
+   shard merging, trace-ring wraparound and Chrome JSON export, the
+   fault flight recorder's bounds, the vendored JSON parser, and the
+   guarded derived ratios in the stats reporters.
+
+   Every test that enables observability runs under [with_clean], which
+   forces the switch on, wipes the process-wide registry/rings/reports,
+   and restores everything afterwards, so telemetry never leaks between
+   tests (or into the determinism suites in test_parallel.ml). *)
+
+module Control = Dh_obs.Control
+module Metrics = Dh_obs.Metrics
+module Tracing = Dh_obs.Tracing
+module Recorder = Dh_obs.Recorder
+module Json = Dh_obs.Json
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let wipe () =
+  Metrics.reset Metrics.default;
+  Tracing.reset ();
+  Recorder.clear ()
+
+let with_clean f =
+  Control.with_enabled true (fun () ->
+      wipe ();
+      Fun.protect ~finally:wipe f)
+
+(* --- histogram bucketing ------------------------------------------- *)
+
+let test_bucket_edges () =
+  List.iter
+    (fun (v, b) ->
+      check_int (Printf.sprintf "bucket_of %d" v) b (Metrics.bucket_of v))
+    [
+      (0, 0);
+      (1, 1);
+      (2, 2);
+      (3, 2);
+      (4, 3);
+      (7, 3);
+      (8, 4);
+      (1023, 10);
+      (1024, 11);
+      (max_int, 62);
+    ];
+  check "bucket_count covers every int" true
+    (Metrics.bucket_of max_int < Metrics.bucket_count);
+  (match Metrics.bucket_of (-1) with
+  | exception Invalid_argument _ -> ()
+  | b -> Alcotest.failf "bucket_of (-1) returned %d instead of raising" b)
+
+let test_histogram_observe () =
+  with_clean @@ fun () ->
+  let h = Metrics.histogram Metrics.default "test.hist" in
+  List.iter (Metrics.observe h) [ 0; 1; 3; 1024 ];
+  check_int "total" 4 (Metrics.histogram_total h);
+  check_int "sum" 1028 (Metrics.histogram_sum h);
+  let buckets = Metrics.histogram_buckets h in
+  check_int "bucket 0" 1 buckets.(0);
+  check_int "bucket 1" 1 buckets.(1);
+  check_int "bucket 2" 1 buckets.(2);
+  check_int "bucket 11" 1 buckets.(11);
+  (* max_int lands in the last used bucket without overflowing totals *)
+  Metrics.observe h max_int;
+  check_int "max_int bucket" 1 (Metrics.histogram_buckets h).(62);
+  check_int "total after max_int" 5 (Metrics.histogram_total h);
+  match Metrics.observe h (-5) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative observe accepted"
+
+let test_disabled_is_noop () =
+  with_clean @@ fun () ->
+  let c = Metrics.counter Metrics.default "test.noop.counter" in
+  let h = Metrics.histogram Metrics.default "test.noop.hist" in
+  Control.with_enabled false (fun () ->
+      Metrics.add c 42;
+      Metrics.observe h 42;
+      (* the sign check only runs while enabled: no raise here *)
+      Metrics.observe h (-1);
+      Tracing.instant "test.noop";
+      Tracing.span "test.noop.span" (fun () -> ());
+      Recorder.trigger ~reason:"noop" ());
+  check_int "counter untouched" 0 (Metrics.counter_value c);
+  check_int "histogram untouched" 0 (Metrics.histogram_total h);
+  check_int "no events" 0 (List.length (Tracing.events ()));
+  check_int "no reports" 0 (List.length (Recorder.reports ()))
+
+let test_counter_shard_merge () =
+  with_clean @@ fun () ->
+  let c = Metrics.counter Metrics.default "test.shard.counter" in
+  let domains =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 1000 do
+              Metrics.incr c
+            done))
+  in
+  for _ = 1 to 1000 do
+    Metrics.incr c
+  done;
+  Array.iter Domain.join domains;
+  check_int "merged across shards" 5000 (Metrics.counter_value c)
+
+let test_gauges () =
+  with_clean @@ fun () ->
+  let g = Metrics.gauge Metrics.default "test.gauge" in
+  Metrics.set g 17;
+  check_int "gauge set" 17 (Metrics.gauge_value g);
+  (* callback gauges: newest registration wins, raising callback reads 0 *)
+  Metrics.gauge_fn Metrics.default "test.gauge_fn" (fun () -> 1);
+  Metrics.gauge_fn Metrics.default "test.gauge_fn" (fun () -> 2);
+  Metrics.gauge_fn Metrics.default "test.gauge_fn.raising" (fun () ->
+      failwith "boom");
+  let rows = Metrics.dump Metrics.default in
+  let value name =
+    match List.find_opt (fun r -> r.Metrics.name = name) rows with
+    | Some r -> r.Metrics.value
+    | None -> Alcotest.failf "row %s missing from dump" name
+  in
+  check_int "callback replaced" 2 (value "test.gauge_fn");
+  check_int "raising callback reads 0" 0 (value "test.gauge_fn.raising")
+
+let test_kind_mismatch () =
+  with_clean @@ fun () ->
+  ignore (Metrics.counter Metrics.default "test.kind");
+  match Metrics.histogram Metrics.default "test.kind" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch accepted"
+
+let test_csv_dump () =
+  with_clean @@ fun () ->
+  let c = Metrics.counter Metrics.default "test.csv.counter" in
+  Metrics.add c 3;
+  let csv = Metrics.to_csv Metrics.default in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  (match lines with
+  | header :: _ -> check_str "header" "name,kind,value,detail" header
+  | [] -> Alcotest.fail "empty csv");
+  check "counter row present" true
+    (List.exists
+       (fun l ->
+         String.length l >= 22 && String.sub l 0 22 = "test.csv.counter,count")
+       lines)
+
+(* --- tracing -------------------------------------------------------- *)
+
+let test_ring_wrap () =
+  with_clean @@ fun () ->
+  let extra = 100 in
+  for i = 1 to Tracing.ring_capacity + extra do
+    Tracing.instant ~arg:(string_of_int i) "test.wrap"
+  done;
+  check_int "recorded counts overwritten events"
+    (Tracing.ring_capacity + extra)
+    (Tracing.recorded ());
+  check_int "dropped = overflow" extra (Tracing.dropped ());
+  let events = Tracing.events () in
+  check_int "ring retains capacity" Tracing.ring_capacity (List.length events);
+  (* the oldest retained event is the first one that was not overwritten *)
+  (match events with
+  | first :: _ -> check_str "oldest survivor" (string_of_int (extra + 1)) first.Tracing.arg
+  | [] -> Alcotest.fail "no events");
+  check_int "last_events bounds" 10 (List.length (Tracing.last_events 10))
+
+let test_span_exception_safe () =
+  with_clean @@ fun () ->
+  (try Tracing.span "test.raise" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  match List.rev (Tracing.events ()) with
+  | last :: prev :: _ ->
+    check "end recorded" true (last.Tracing.phase = Tracing.End);
+    check "begin recorded" true (prev.Tracing.phase = Tracing.Begin)
+  | _ -> Alcotest.fail "span did not record both events"
+
+let test_chrome_json () =
+  with_clean @@ fun () ->
+  Tracing.span ~arg:"7" "test.span" (fun () -> Tracing.instant "test \"quoted\"");
+  let json = Tracing.to_chrome_json () in
+  match Json.parse json with
+  | Error e -> Alcotest.failf "trace JSON does not parse: %s" e
+  | Ok v ->
+    let events = Option.fold ~none:[] ~some:Json.to_list (Json.member "traceEvents" v) in
+    check_int "three events" 3 (List.length events);
+    let phases =
+      List.filter_map
+        (fun e -> Option.bind (Json.member "ph" e) Json.string_value)
+        events
+    in
+    check "phases" true (List.sort compare phases = [ "B"; "E"; "i" ]);
+    check "escaped name round-trips" true
+      (List.exists
+         (fun e ->
+           Option.bind (Json.member "name" e) Json.string_value
+           = Some "test \"quoted\"")
+         events)
+
+(* --- flight recorder ------------------------------------------------ *)
+
+let test_recorder_capture () =
+  with_clean @@ fun () ->
+  for i = 1 to Recorder.window + 20 do
+    Tracing.instant ~arg:(string_of_int i) "test.rec"
+  done;
+  Recorder.register_context "test.ctx" (fun () -> "ctx body");
+  Recorder.register_context "test.ctx" (fun () -> "ctx body v2");
+  Recorder.register_context "test.ctx.raising" (fun () -> failwith "boom");
+  Metrics.add (Metrics.counter Metrics.default "test.rec.counter") 1;
+  Recorder.trigger
+    ~sections:[ { Recorder.title = "caller"; body = "caller body" } ]
+    ~reason:"unit test" ();
+  match Recorder.last () with
+  | None -> Alcotest.fail "no report captured"
+  | Some r ->
+    check_str "reason" "unit test" r.Recorder.reason;
+    check_int "window bound" Recorder.window (List.length r.Recorder.events);
+    check "metrics snapshot" true
+      (List.exists
+         (fun row -> row.Metrics.name = "test.rec.counter")
+         r.Recorder.metrics);
+    let body title =
+      match
+        List.find_opt (fun s -> s.Recorder.title = title) r.Recorder.sections
+      with
+      | Some s -> s.Recorder.body
+      | None -> Alcotest.failf "section %s missing" title
+    in
+    check_str "caller section first" "caller"
+      (match r.Recorder.sections with
+      | s :: _ -> s.Recorder.title
+      | [] -> "");
+    check_str "provider replaced" "ctx body v2" (body "test.ctx");
+    check "raising provider noted, capture survives" true
+      (String.length (body "test.ctx.raising") > 0)
+
+let test_recorder_bounds () =
+  with_clean @@ fun () ->
+  for i = 1 to Recorder.max_reports + 5 do
+    Recorder.trigger ~reason:(Printf.sprintf "capture %d" i) ()
+  done;
+  let reports = Recorder.reports () in
+  check_int "bounded queue" Recorder.max_reports (List.length reports);
+  (match reports with
+  | oldest :: _ ->
+    check_str "oldest retained" "capture 6" oldest.Recorder.reason
+  | [] -> Alcotest.fail "no reports");
+  let drained = Recorder.take () in
+  check_int "take drains everything" Recorder.max_reports (List.length drained);
+  check_int "queue empty after take" 0 (List.length (Recorder.reports ()))
+
+(* --- JSON parser ---------------------------------------------------- *)
+
+let test_json_parser () =
+  let ok s = match Json.parse s with Ok v -> v | Error e -> Alcotest.failf "%S: %s" s e in
+  (match ok {|{"a": [1, 2.5, -3e2], "b": "x\u0041\n", "c": true, "d": null}|} with
+  | Json.Obj fields ->
+    check_int "fields" 4 (List.length fields);
+    (match List.assoc "a" fields with
+    | Json.List [ Json.Number a; Json.Number b; Json.Number c ] ->
+      check "numbers" true (a = 1. && b = 2.5 && c = -300.)
+    | _ -> Alcotest.fail "list shape");
+    check "unicode + escape" true
+      (List.assoc "b" fields = Json.String "xA\n");
+    check "bool" true (List.assoc "c" fields = Json.Bool true);
+    check "null" true (List.assoc "d" fields = Json.Null)
+  | _ -> Alcotest.fail "object shape");
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "%S parsed but should not" s
+      | Error _ -> ())
+    [ "{} trailing"; "{\"a\":}"; "\"unterminated"; "[1,]"; "nul"; "" ];
+  check "member on non-obj" true (Json.member "a" (Json.List []) = None);
+  check "to_list on non-list" true (Json.to_list Json.Null = [])
+
+(* --- guarded derived ratios in the reporters ------------------------ *)
+
+let test_stats_pp_guards () =
+  let fresh = Dh_alloc.Stats.create () in
+  let s = Format.asprintf "%a" Dh_alloc.Stats.pp fresh in
+  let contains ~sub s =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check "empty run prints a dash, not nan" true (contains ~sub:"probes/malloc=-" s);
+  fresh.Dh_alloc.Stats.mallocs <- 2;
+  fresh.Dh_alloc.Stats.probes <- 4;
+  let s = Format.asprintf "%a" Dh_alloc.Stats.pp fresh in
+  check "ratio printed when defined" true (contains ~sub:"probes/malloc=2.00" s);
+  let mem = Dh_mem.Mem.create () in
+  let s = Format.asprintf "%a" Dh_mem.Mem.pp_stats (Dh_mem.Mem.stats mem) in
+  check "mem hit rates guarded" true (contains ~sub:"tlb-hit=-" s)
+
+let test_with_enabled_restores () =
+  let before = Control.enabled () in
+  (try
+     Control.with_enabled (not before) (fun () ->
+         check "forced" (not before) (Control.enabled ());
+         failwith "boom")
+   with Failure _ -> ());
+  check "restored after raise" before (Control.enabled ())
+
+let suite =
+  [
+    Alcotest.test_case "histogram bucket edges" `Quick test_bucket_edges;
+    Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+    Alcotest.test_case "disabled recording is a no-op" `Quick test_disabled_is_noop;
+    Alcotest.test_case "counter shards merge" `Quick test_counter_shard_merge;
+    Alcotest.test_case "gauges and callbacks" `Quick test_gauges;
+    Alcotest.test_case "instrument kind mismatch" `Quick test_kind_mismatch;
+    Alcotest.test_case "metrics csv dump" `Quick test_csv_dump;
+    Alcotest.test_case "trace ring wraps" `Quick test_ring_wrap;
+    Alcotest.test_case "span is exception-safe" `Quick test_span_exception_safe;
+    Alcotest.test_case "chrome trace json" `Quick test_chrome_json;
+    Alcotest.test_case "flight recorder capture" `Quick test_recorder_capture;
+    Alcotest.test_case "flight recorder bounds" `Quick test_recorder_bounds;
+    Alcotest.test_case "json parser" `Quick test_json_parser;
+    Alcotest.test_case "reporter ratio guards" `Quick test_stats_pp_guards;
+    Alcotest.test_case "with_enabled restores" `Quick test_with_enabled_restores;
+  ]

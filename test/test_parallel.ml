@@ -245,6 +245,54 @@ let test_supervisor_jobs_equivalence () =
   check "first-try success equal at jobs=2" true
     (supervisor_incident ~jobs:2 ~master = seq)
 
+(* --- telemetry under the pool --- *)
+
+(* Worker domains write metric shards picked by their own domain id;
+   reads must merge every shard back into one total. *)
+let test_metrics_shard_merge_under_pool () =
+  Dh_obs.Control.with_enabled true @@ fun () ->
+  Fun.protect ~finally:(fun () -> Dh_obs.Metrics.reset Dh_obs.Metrics.default)
+  @@ fun () ->
+  Dh_obs.Metrics.reset Dh_obs.Metrics.default;
+  let reg = Dh_obs.Metrics.default in
+  let c = Dh_obs.Metrics.counter reg "test.pool.items" in
+  let h = Dh_obs.Metrics.histogram reg "test.pool.sizes" in
+  let pool = Pool.create ~jobs:4 () in
+  let out =
+    Pool.init ~pool 200 (fun i ->
+        Dh_obs.Metrics.incr c;
+        Dh_obs.Metrics.observe h i;
+        i)
+  in
+  check "work really happened" true (out = Array.init 200 Fun.id);
+  check_int "counter merges worker shards" 200 (Dh_obs.Metrics.counter_value c);
+  check_int "histogram merges worker shards" 200
+    (Dh_obs.Metrics.histogram_total h);
+  check_int "histogram sum" (199 * 200 / 2) (Dh_obs.Metrics.histogram_sum h)
+
+(* Telemetry is write-only: a traced run must produce bit-identical
+   results to an untraced one, sequentially and in parallel.  Flight
+   recorder captures are the one field tracing legitimately adds, so
+   the fingerprint strips them before comparing. *)
+let prop_observation_invariance =
+  QCheck.Test.make ~name:"tracing does not perturb seeded runs" ~count:8
+    QCheck.(int_bound 1000)
+    (fun master ->
+      let baseline = supervisor_incident ~jobs:1 ~master in
+      let strip i = { i with Supervisor.flight = [] } in
+      let observed ~jobs =
+        Dh_obs.Control.with_enabled true (fun () ->
+            Fun.protect
+              ~finally:(fun () ->
+                Dh_obs.Metrics.reset Dh_obs.Metrics.default;
+                Dh_obs.Tracing.reset ();
+                Dh_obs.Recorder.clear ())
+              (fun () -> supervisor_incident ~jobs ~master))
+      in
+      baseline.Supervisor.flight = []
+      && strip (observed ~jobs:1) = strip baseline
+      && strip (observed ~jobs:4) = strip baseline)
+
 let suite =
   [
     Alcotest.test_case "pool: empty" `Quick test_pool_empty;
@@ -264,4 +312,7 @@ let suite =
       test_campaign_jobs_equivalence;
     Alcotest.test_case "supervisor: jobs equivalence" `Quick
       test_supervisor_jobs_equivalence;
+    Alcotest.test_case "metrics: shards merge under pool" `Quick
+      test_metrics_shard_merge_under_pool;
+    QCheck_alcotest.to_alcotest prop_observation_invariance;
   ]
