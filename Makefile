@@ -22,12 +22,16 @@ bench-quick:
 bench-scaling:
 	dune exec bench/throughput.exe -- --jobs 8
 
-# Telemetry gate, two legs.  First an untraced full run gated against
-# the committed baseline: the obs-disabled allocation path must stay
-# within 5%.  (The legs are separate because --trace switches telemetry
-# on for the whole run, which would sink the alloc rates the baseline
-# compares.)  Then a quick traced run: the trace must parse as JSON and
-# cover the heap/GC/supervisor/replica spans the inspector expects.
+# Telemetry + checkpoint gate, two legs.  First an untraced full run
+# gated against the committed baseline: the obs-disabled allocation path
+# and the no-checkpoint write path (dirty-page tracking is always on)
+# must stay within 5% of the committed floor, and the run itself fails
+# if rewind recovery is slower than from-scratch retry or its output
+# fingerprint diverges.  (The legs are separate because --trace switches
+# telemetry on for the whole run, which would sink the rates the
+# baseline compares.)  Then a quick traced run: the trace must parse as
+# JSON and cover the heap/GC/supervisor/replica spans the inspector
+# expects.
 obs-check:
 	dune build @all
 	dune exec bench/throughput.exe -- --baseline BENCH_throughput.json --out /dev/null

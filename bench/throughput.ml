@@ -2,15 +2,18 @@
 
      dune exec bench/throughput.exe -- [--quick] [--jobs N] [--out PATH]
                                        [--trace PATH] [--baseline PATH]
+                                       [--tolerance PCT]
 
    Prints a human summary and writes BENCH_throughput.json (or PATH).
    The same benchmark is reachable as `diehard bench`.  Exits nonzero if
    the bulk/bytewise twin-heap semantics diverge, if any parallel
-   scaling point fails to reproduce the sequential results, or if
-   --baseline finds allocation throughput more than 5% below the
-   committed baseline (the observability overhead gate).  --trace runs
-   the whole bench with Dh_obs enabled and writes Chrome trace_event
-   JSON. *)
+   scaling point fails to reproduce the sequential results, if the
+   rewind-recovery leg is slower than the from-scratch retry leg (or its
+   output diverges), or if --baseline finds allocation or write-path
+   throughput more than --tolerance (default 5%) below the committed
+   baseline (the observability + dirty-tracking overhead gate).
+   --trace runs the whole bench with Dh_obs enabled and writes Chrome
+   trace_event JSON. *)
 
 let () =
   let quick = ref false in
@@ -18,6 +21,7 @@ let () =
   let jobs = ref 8 in
   let trace = ref None in
   let baseline = ref None in
+  let tolerance = ref 0.05 in
   let rec parse = function
     | [] -> ()
     | ("--quick" | "quick") :: rest ->
@@ -32,6 +36,14 @@ let () =
     | "--baseline" :: path :: rest ->
       baseline := Some path;
       parse rest
+    | "--tolerance" :: pct :: rest ->
+      (match float_of_string_opt pct with
+      | Some t when t > 0. && t < 1. -> tolerance := t
+      | _ ->
+        Printf.eprintf
+          "throughput: --tolerance wants a fraction in (0, 1) (got %S)\n" pct;
+        exit 2);
+      parse rest
     | ("--jobs" | "-j") :: n :: rest ->
       (match int_of_string_opt n with
       | Some j when j >= 1 -> jobs := j
@@ -42,7 +54,7 @@ let () =
     | arg :: _ ->
       Printf.eprintf
         "usage: throughput [--quick] [--jobs N] [--out PATH] [--trace PATH] \
-         [--baseline PATH] (got %S)\n"
+         [--baseline PATH] [--tolerance PCT] (got %S)\n"
         arg;
       exit 2
   in
@@ -68,11 +80,29 @@ let () =
     prerr_endline "parallel/sequential divergence in scaling bench";
     exit 1
   end;
+  (* The rewind rung's contract: recovering by rewinding dirty pages must
+     beat restarting the whole run, and must not change what the program
+     prints.  Both are checked on every bench run, baseline or not. *)
+  let ck = report.Dh_bench.Throughput.checkpoint in
+  if not ck.Dh_bench.Throughput.ck_fingerprint_match then begin
+    prerr_endline
+      "rewind-recovered output diverges from the from-scratch retry run";
+    exit 1
+  end;
+  if ck.Dh_bench.Throughput.ck_rewind_speedup <= 1.0 then begin
+    Printf.eprintf
+      "rewind recovery (%.3f s) not faster than from-scratch retry (%.3f s)\n"
+      ck.Dh_bench.Throughput.ck_rewind.Dh_bench.Throughput.seconds
+      ck.Dh_bench.Throughput.ck_scratch.Dh_bench.Throughput.seconds;
+    exit 1
+  end;
   match !baseline with
   | None -> ()
   | Some path -> (
-    match Dh_bench.Throughput.check_baseline ~path report with
-    | Ok () -> Printf.printf "baseline gate: within 5%% of %s\n" path
+    match Dh_bench.Throughput.check_baseline ~tolerance:!tolerance ~path report with
+    | Ok () ->
+      Printf.printf "baseline gate: within %.0f%% of %s\n" (!tolerance *. 100.)
+        path
     | Error msg ->
       prerr_endline ("baseline gate: " ^ msg);
       exit 1)

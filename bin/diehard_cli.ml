@@ -32,7 +32,7 @@ let load_source name =
 let prog_arg =
   let doc =
     "MiniC program: a file path, or a built-in name (espresso, squid, lindsay, \
-     cfrac)."
+     cfrac; 'survive' also accepts the native 'server')."
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
 
@@ -267,11 +267,44 @@ let no_diagnose_arg =
   let doc = "Skip the canary-instrumented diagnosis replay of the first failure." in
   Arg.(value & flag & info [ "no-diagnose" ] ~doc)
 
+let checkpoint_interval_arg =
+  let doc =
+    "Arm a copy-on-write checkpoint every $(docv) requests and recover faults by \
+     rewinding to it (service-shaped programs such as the built-in 'server' only; \
+     0 disables the rewind rung)."
+  in
+  Arg.(value & opt int 0 & info [ "checkpoint-interval" ] ~docv:"N" ~doc)
+
+let rewinds_arg =
+  let doc = "Rewind budget per attempt before escalating to retry-with-reseed." in
+  Arg.(value & opt int 8 & info [ "rewinds" ] ~docv:"N" ~doc)
+
+let requests_arg =
+  let doc = "Requests the built-in 'server' program handles." in
+  Arg.(value & opt int 4096 & info [ "requests" ] ~docv:"N" ~doc)
+
+let attack_every_arg =
+  let doc =
+    "Make every $(docv)-th request to the built-in 'server' an overlong-URL attack \
+     (0 = well-formed traffic only)."
+  in
+  Arg.(value & opt int 0 & info [ "attack-every" ] ~docv:"N" ~doc)
+
 let survive_cmd =
-  let action () prog retries backoff no_rescue no_diagnose policy_kind seed
-      heap_size input fuel jobs =
-    let source = load_source prog in
-    let program = Dh_lang.Interp.program_of_source ~name:prog source in
+  let action () prog retries backoff no_rescue no_diagnose checkpoint_interval
+      max_rewinds requests attack_every policy_kind seed heap_size input fuel
+      jobs =
+    let program, heap_size =
+      match prog with
+      | "server" ->
+        (* The native service-shaped workload; give it its tuned heap
+           unless the user sized one explicitly. *)
+        ( Dh_workload.Server.program ~requests ~attack_every (),
+          if heap_size = Diehard.Config.default.Diehard.Config.heap_size then
+            Dh_workload.Server.heap_size
+          else heap_size )
+      | _ -> (Dh_lang.Interp.program_of_source ~name:prog (load_source prog), heap_size)
+    in
     let policy =
       {
         Diehard.Supervisor.max_retries = retries;
@@ -279,6 +312,8 @@ let survive_cmd =
         rescue = not no_rescue;
         diagnose = not no_diagnose;
         fuel;
+        checkpoint_interval;
+        max_rewinds;
       }
     in
     let incident =
@@ -293,20 +328,33 @@ let survive_cmd =
       if out <> "" && not (String.ends_with ~suffix:"\n" out) then print_newline ()
     | None -> ());
     Format.eprintf "%a@?" Diehard.Supervisor.pp_incident incident;
+    (* Exit-code contract (documented in README): 0 = clean survival on a
+       randomized DieHard heap; 1 = gave up; 2 = survived only by
+       degrading to the rescue allocator — CI can gate on "no rescue". *)
     exit
       (match incident.Diehard.Supervisor.verdict with
-      | Diehard.Supervisor.Survived _ -> 0
-      | Diehard.Supervisor.Gave_up -> 1)
+      | Diehard.Supervisor.Gave_up -> 1
+      | Diehard.Supervisor.Survived _ -> (
+        match
+          List.find_opt
+            (fun a -> a.Diehard.Supervisor.ok)
+            incident.Diehard.Supervisor.attempts
+        with
+        | Some a when a.Diehard.Supervisor.plan.Diehard.Supervisor.mode = Diehard.Supervisor.Rescue -> 2
+        | Some _ | None -> 0))
   in
   let doc =
-    "Run a program under the survival supervisor: retry crashes with fresh seeds and \
-     an expanding heap, degrade to the rescue allocator, and diagnose the fault with \
-     canaries."
+    "Run a program under the survival supervisor: recover faults by rewinding to \
+     copy-on-write checkpoints (--checkpoint-interval), retry crashes with fresh \
+     seeds and an expanding heap, degrade to the rescue allocator, and diagnose \
+     the fault with canaries.  Exits 0 on clean randomized survival, 1 when every \
+     rung died, 2 when only the degraded rescue rung survived."
   in
   Cmd.v (Cmd.info "survive" ~doc)
     Term.(
       const action $ obs_term $ prog_arg $ retries_arg $ backoff_arg
-      $ no_rescue_arg $ no_diagnose_arg $ policy_arg $ seed_arg $ heap_arg
+      $ no_rescue_arg $ no_diagnose_arg $ checkpoint_interval_arg $ rewinds_arg
+      $ requests_arg $ attack_every_arg $ policy_arg $ seed_arg $ heap_arg
       $ input_arg $ fuel_arg $ jobs_arg)
 
 (* --- check --- *)

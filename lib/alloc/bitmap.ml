@@ -33,6 +33,13 @@ let clear t i =
 
 let cardinal t = t.cardinal
 
+let copy t = { bits = Bytes.copy t.bits; length = t.length; cardinal = t.cardinal }
+
+let assign t ~from =
+  if t.length <> from.length then invalid_arg "Bitmap.assign: length mismatch";
+  Bytes.blit from.bits 0 t.bits 0 (Bytes.length from.bits);
+  t.cardinal <- from.cardinal
+
 let clear_all t =
   Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
   t.cardinal <- 0

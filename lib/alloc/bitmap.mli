@@ -20,6 +20,13 @@ val clear : t -> int -> unit
 val cardinal : t -> int
 (** Number of set bits (maintained incrementally, O(1)). *)
 
+val copy : t -> t
+(** An independent duplicate — the bitmap half of a heap snapshot. *)
+
+val assign : t -> from:t -> unit
+(** [assign t ~from] overwrites [t] with [from]'s contents in place (so
+    aliases to [t] see the restored state).  The lengths must match. *)
+
 val clear_all : t -> unit
 
 val iter_set : t -> (int -> unit) -> unit

@@ -9,9 +9,30 @@ type context = {
   fuel : Process.Fuel.t;
 }
 
-type t = { name : string; main : context -> unit }
+type handler = { handle : int -> unit; finish : unit -> unit }
+type service = { requests : int; init : context -> handler }
 
-let make ~name main = { name; main }
+type t = { name : string; main : context -> unit; service : service option }
+
+let make ?service ~name main = { name; main; service }
+
+(* A service's plain-run shape: initialize, handle every request in
+   order, finish.  Deriving [main] from the service keeps the
+   checkpointed and sequential executions the same program by
+   construction — the determinism-fingerprint equivalence the rewind
+   tests assert starts here. *)
+let of_service ~name service =
+  {
+    name;
+    main =
+      (fun ctx ->
+        let h = service.init ctx in
+        for k = 0 to service.requests - 1 do
+          h.handle k
+        done;
+        h.finish ());
+    service = Some service;
+  }
 
 let run ?(policy_kind = Policy.Raw) ?(input = "") ?(now = 0) ?(fuel = 100_000_000)
     program alloc =

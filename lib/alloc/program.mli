@@ -20,12 +20,47 @@ type context = {
           are classified as [Timeout]. *)
 }
 
+(** {1 Step-structured programs (services)}
+
+    A {e service} is a program factored into an initialization step and a
+    per-request step, with {e all} of its mutable state held in simulated
+    memory (never in OCaml closures) and request [k]'s content derived
+    purely from [k] and the program's input.  That shape is what makes
+    rewind-and-discard recovery possible: the supervisor can snapshot
+    between requests, and re-invoking [handle k] after a memory rewind
+    {e is} resuming from the checkpoint — there is no hidden OCaml state
+    to roll back.  (OCaml's one-shot continuations cannot re-resume an
+    arbitrary [main] thunk, so resumability must come from program
+    structure.) *)
+
+type handler = {
+  handle : int -> unit;  (** Process request [k]. *)
+  finish : unit -> unit;  (** Emit the epilogue (summary lines, exit). *)
+}
+
+type service = {
+  requests : int;  (** Total requests a full run handles. *)
+  init : context -> handler;
+      (** Allocate the service's state (in simulated memory) and return
+          its steps.  Closures returned here must hold no mutable OCaml
+          state that [handle] writes — the rewind layer cannot restore
+          it. *)
+}
+
 type t = {
   name : string;
   main : context -> unit;
+  service : service option;
+      (** Present when the program also offers the step-structured shape;
+          [main] must be observationally identical to running the service
+          sequentially (use {!of_service} to get that by construction). *)
 }
 
-val make : name:string -> (context -> unit) -> t
+val make : ?service:service -> name:string -> (context -> unit) -> t
+
+val of_service : name:string -> service -> t
+(** The canonical wrapping: [main] initializes, handles requests [0 ..
+    requests-1] in order, and finishes. *)
 
 val run :
   ?policy_kind:Policy.kind ->

@@ -27,6 +27,21 @@ let create () =
     gc_collections = 0;
   }
 
+let copy t = { t with mallocs = t.mallocs }
+
+let assign t ~from =
+  t.mallocs <- from.mallocs;
+  t.failed_mallocs <- from.failed_mallocs;
+  t.frees <- from.frees;
+  t.ignored_frees <- from.ignored_frees;
+  t.probes <- from.probes;
+  t.bytes_requested <- from.bytes_requested;
+  t.bytes_allocated <- from.bytes_allocated;
+  t.live_objects <- from.live_objects;
+  t.live_bytes <- from.live_bytes;
+  t.peak_live_bytes <- from.peak_live_bytes;
+  t.gc_collections <- from.gc_collections
+
 let on_malloc t ~requested ~reserved =
   t.mallocs <- t.mallocs + 1;
   t.bytes_requested <- t.bytes_requested + requested;

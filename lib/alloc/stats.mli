@@ -23,6 +23,13 @@ type t = {
 
 val create : unit -> t
 
+val copy : t -> t
+(** An independent duplicate of the current counter values. *)
+
+val assign : t -> from:t -> unit
+(** Overwrite [t]'s counters with [from]'s in place, so registered gauges
+    and allocator aliases see the restored values. *)
+
 val on_malloc : t -> requested:int -> reserved:int -> unit
 (** Record a successful allocation and update live accounting. *)
 

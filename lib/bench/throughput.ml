@@ -35,6 +35,19 @@ type obs_overhead = {
   enabled_overhead_pct : float;  (* slowdown of on vs off, percent *)
 }
 
+type checkpoint_bench = {
+  ck_plain : rate;  (* page-write churn with no checkpoint armed *)
+  ck_armed : rate;  (* the same churn inside copy-on-write windows *)
+  ck_cow_overhead_pct : float;  (* slowdown of armed vs plain, percent *)
+  ck_rewind : rate;  (* server attack run recovered by the rewind rung *)
+  ck_scratch : rate;  (* the same run recovered by from-scratch retries *)
+  ck_rewind_speedup : float;  (* scratch seconds / rewind seconds *)
+  ck_rewinds : int;  (* faults survived by rewind across the run *)
+  ck_pages_restored : int;  (* pages blitted back across all rewinds *)
+  ck_fingerprint_match : bool;
+      (* both legs survived and printed byte-identical output *)
+}
+
 type report = {
   quick : bool;
   alloc : rate list;
@@ -43,6 +56,7 @@ type report = {
   gc_mark : rate;
   bitmap_sweep : rate;
   supervisor : rate;
+  checkpoint : checkpoint_bench;
   obs : obs_overhead;
   scaling : scaling list;
 }
@@ -301,6 +315,130 @@ let supervisor_bench ~quick =
   in
   { name = "supervisor"; ops = !attempts; bytes = 0; seconds }
 
+(* --- checkpoint / rewind recovery --- *)
+
+(* Two questions, one section.  First: what does dirty-page tracking cost
+   on the write path when nobody asked for checkpoints (the always-on
+   tax — gated against the committed baseline), and what does it cost
+   once a window is armed and every first touch pre-images its page (the
+   COW tax)?  Second: on the long Squid-style attack run, is rewinding
+   the dirty pages actually cheaper than the classic ladder's
+   restart-from-scratch — the whole point of the rung? *)
+let checkpoint_write_churn ~quick =
+  let pages = if quick then 64 else 256 in
+  let reps = if quick then 60 else 200 in
+  let len = pages * 4096 in
+  let words_per_page = 4096 / 8 in
+  let churn mem a =
+    (* one 64-bit write per cache line of every page: write-path heavy,
+       every page of the working set dirtied each rep *)
+    for p = 0 to pages - 1 do
+      let page = a + (p * 4096) in
+      let w = ref 0 in
+      while !w < words_per_page do
+        Mem.write64 mem (page + (!w * 8)) !w;
+        w := !w + 8
+      done
+    done
+  in
+  let ops_per_rep = pages * (words_per_page / 8) in
+  let plain_mem = Mem.create () in
+  let plain_a = Mem.mmap plain_mem len in
+  let plain_s =
+    time (fun () ->
+        for _ = 1 to reps do
+          churn plain_mem plain_a
+        done)
+  in
+  let armed_mem = Mem.create () in
+  let armed_a = Mem.mmap armed_mem len in
+  let armed_s =
+    time (fun () ->
+        for _ = 1 to reps do
+          (* re-arming starts a fresh window: every page is clean again,
+             so each rep pays one pre-image copy per page touched *)
+          Mem.checkpoint armed_mem;
+          churn armed_mem armed_a
+        done)
+  in
+  Mem.discard_checkpoint armed_mem;
+  let plain =
+    { name = "ckpt-write-plain"; ops = reps * ops_per_rep; bytes = reps * len; seconds = plain_s }
+  in
+  let armed =
+    { name = "ckpt-write-armed"; ops = reps * ops_per_rep; bytes = reps * len; seconds = armed_s }
+  in
+  (plain, armed)
+
+let checkpoint_bench ~quick =
+  let plain, armed = checkpoint_write_churn ~quick in
+  (* The recovery comparison: the same server-under-attack run (same
+     seed pool, so the ladders draw identical per-attempt seeds), once
+     with the rewind rung armed and once restarting each failed attempt
+     from scratch.  Both must survive and print the same fingerprint —
+     the run's output is placement-independent, so recovery strategy
+     must not show through. *)
+  let requests = if quick then 2048 else 8192 in
+  let base_policy =
+    {
+      Diehard.Supervisor.default_policy with
+      max_retries = 8;
+      rescue = false;
+      diagnose = false;
+      fuel = 10_000_000;
+    }
+  in
+  let run_leg ~interval =
+    let incident = ref None in
+    let seconds =
+      time (fun () ->
+          incident :=
+            Some
+              (Diehard.Supervisor.run
+                 ~policy:
+                   {
+                     base_policy with
+                     checkpoint_interval = interval;
+                     max_rewinds = (if interval > 0 then 1_000_000 else 0);
+                   }
+                 ~config:
+                   (Diehard.Config.v ~heap_size:Dh_workload.Server.heap_size
+                      ~seed:3 ())
+                 ~seed_pool:(Dh_rng.Seed.create ~master:3)
+                 (Dh_workload.Server.program ~requests ~attack_every:16 ())))
+    in
+    (Option.get !incident, seconds)
+  in
+  let rewind_i, rewind_s = run_leg ~interval:64 in
+  let scratch_i, scratch_s = run_leg ~interval:0 in
+  let survived i =
+    match i.Diehard.Supervisor.verdict with
+    | Diehard.Supervisor.Survived _ -> true
+    | Diehard.Supervisor.Gave_up -> false
+  in
+  let rewinds, pages =
+    List.fold_left
+      (fun (rw, pg) (a : Diehard.Supervisor.attempt_report) ->
+        match a.Diehard.Supervisor.recovery with
+        | Some r ->
+          (rw + r.Diehard.Supervisor.rewinds, pg + r.Diehard.Supervisor.pages_restored)
+        | None -> (rw, pg))
+      (0, 0) rewind_i.Diehard.Supervisor.attempts
+  in
+  {
+    ck_plain = plain;
+    ck_armed = armed;
+    ck_cow_overhead_pct = ((ops_per_sec plain /. ops_per_sec armed) -. 1.) *. 100.;
+    ck_rewind = { name = "recover-rewind"; ops = requests; bytes = 0; seconds = rewind_s };
+    ck_scratch = { name = "recover-scratch"; ops = requests; bytes = 0; seconds = scratch_s };
+    ck_rewind_speedup = scratch_s /. rewind_s;
+    ck_rewinds = rewinds;
+    ck_pages_restored = pages;
+    ck_fingerprint_match =
+      survived rewind_i && survived scratch_i
+      && rewind_i.Diehard.Supervisor.output = scratch_i.Diehard.Supervisor.output;
+  }
+
 (* --- observability overhead --- *)
 
 (* The same diehard alloc churn with Dh_obs off and then on.  The off
@@ -467,9 +605,12 @@ let run ?(quick = false) ?(max_jobs = 8) () =
   let scaling =
     [ replicated_scaling ~quick ~max_jobs; campaign_scaling ~quick ~max_jobs ]
   in
+  (* the checkpoint stage's server runs are heap-churn-heavy, so it
+     belongs with the flooders, before the low-volume span stages *)
+  let checkpoint = checkpoint_bench ~quick in
   let gc_mark = gc_mark_bench ~quick in
   let supervisor = supervisor_bench ~quick in
-  { quick; alloc; fill; copy; gc_mark; bitmap_sweep; supervisor; obs; scaling }
+  { quick; alloc; fill; copy; gc_mark; bitmap_sweep; supervisor; checkpoint; obs; scaling }
 
 let deterministic r = List.for_all (fun s -> s.deterministic) r.scaling
 
@@ -520,6 +661,19 @@ let to_json r =
   json_rate b r.bitmap_sweep;
   Printf.bprintf b ",\"supervisor\":";
   json_rate b r.supervisor;
+  Printf.bprintf b ",\"checkpoint\":{\"plain\":";
+  json_rate b r.checkpoint.ck_plain;
+  Printf.bprintf b ",\"armed\":";
+  json_rate b r.checkpoint.ck_armed;
+  Printf.bprintf b ",\"cow_overhead_pct\":%.2f,\"rewind\":"
+    r.checkpoint.ck_cow_overhead_pct;
+  json_rate b r.checkpoint.ck_rewind;
+  Printf.bprintf b ",\"scratch\":";
+  json_rate b r.checkpoint.ck_scratch;
+  Printf.bprintf b
+    ",\"rewind_speedup\":%.2f,\"rewinds\":%d,\"pages_restored\":%d,\"fingerprint_match\":%b}"
+    r.checkpoint.ck_rewind_speedup r.checkpoint.ck_rewinds
+    r.checkpoint.ck_pages_restored r.checkpoint.ck_fingerprint_match;
   Printf.bprintf b ",\"obs\":{\"off\":";
   json_rate b r.obs.obs_off;
   Printf.bprintf b ",\"on\":";
@@ -569,9 +723,12 @@ let check_baseline ?(tolerance = 0.05) ~path r =
         else begin
           let baseline_entries =
             baseline_alloc
+            @ (match member "obs" json with
+              | Some obs -> List.filter_map Fun.id [ member "off" obs ]
+              | None -> [])
             @
-            match member "obs" json with
-            | Some obs -> List.filter_map Fun.id [ member "off" obs ]
+            match member "checkpoint" json with
+            | Some ck -> List.filter_map Fun.id [ member "plain" ck ]
             | None -> []
           in
           let baseline_rate name =
@@ -595,7 +752,7 @@ let check_baseline ?(tolerance = 0.05) ~path r =
                          rate.name current baseline
                          ((1. -. (current /. baseline)) *. 100.))
                   else None)
-              (r.alloc @ [ r.obs.obs_off ])
+              (r.alloc @ [ r.obs.obs_off; r.checkpoint.ck_plain ])
           in
           match failures with
           | [] -> Ok ()
@@ -625,6 +782,18 @@ let print r =
     (float_of_int r.bitmap_sweep.bytes *. 8. /. 1e6 /. r.bitmap_sweep.seconds);
   Printf.printf "  supervisor %8d ladder attempts in %.3f s\n" r.supervisor.ops
     r.supervisor.seconds;
+  Printf.printf
+    "  ckpt writes: plain %9.0f ops/s  armed %9.0f ops/s  COW costs %+.1f%%\n"
+    (ops_per_sec r.checkpoint.ck_plain)
+    (ops_per_sec r.checkpoint.ck_armed)
+    r.checkpoint.ck_cow_overhead_pct;
+  Printf.printf
+    "  recovery: rewind %.3f s  scratch %.3f s  speedup %.2fx  (%d rewinds, %d \
+     pages restored)  fingerprint %s\n"
+    r.checkpoint.ck_rewind.seconds r.checkpoint.ck_scratch.seconds
+    r.checkpoint.ck_rewind_speedup r.checkpoint.ck_rewinds
+    r.checkpoint.ck_pages_restored
+    (if r.checkpoint.ck_fingerprint_match then "match" else "MISMATCH");
   Printf.printf
     "  obs overhead: off %10.0f ops/s  on %10.0f ops/s  enabled costs %+.1f%%\n"
     (ops_per_sec r.obs.obs_off) (ops_per_sec r.obs.obs_on)

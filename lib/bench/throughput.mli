@@ -75,6 +75,31 @@ type obs_overhead = {
           ({!check_baseline}). *)
 }
 
+type checkpoint_bench = {
+  ck_plain : rate;
+      (** Page-write churn with no checkpoint armed — the always-on
+          dirty-tracking tax on the write path, gated against the
+          committed baseline by {!check_baseline}. *)
+  ck_armed : rate;
+      (** The same churn re-armed into a fresh copy-on-write window each
+          rep, so every page touched pays one pre-image copy. *)
+  ck_cow_overhead_pct : float;  (** Slowdown of armed vs plain, percent. *)
+  ck_rewind : rate;
+      (** The Squid-style server attack run ([ops] = requests) survived
+          by the supervisor's rewind rung. *)
+  ck_scratch : rate;
+      (** The identical run (same seed pool) survived by the classic
+          restart-from-scratch retry ladder. *)
+  ck_rewind_speedup : float;
+      (** Scratch seconds / rewind seconds — the rung's reason to exist;
+          the bench executable gates on [> 1]. *)
+  ck_rewinds : int;  (** Faults survived by rewind in the rewind leg. *)
+  ck_pages_restored : int;  (** Pages blitted back across those rewinds. *)
+  ck_fingerprint_match : bool;
+      (** Both legs survived and printed byte-identical output — rewind
+          recovery must not show through in program results. *)
+}
+
 type report = {
   quick : bool;
   alloc : rate list;
@@ -86,6 +111,10 @@ type report = {
       (** Supervisor escalation ladders driven over a deterministically
           crashing program ([ops] = ladder attempts) — also the stage
           that puts supervisor spans into [diehard bench --trace]. *)
+  checkpoint : checkpoint_bench;
+      (** Copy-on-write checkpointing: write-path overhead plain vs
+          armed, and rewind recovery vs from-scratch retry on the server
+          attack run (see DESIGN.md, "Rewind-and-discard recovery"). *)
   obs : obs_overhead;
   scaling : scaling list;
 }
@@ -109,11 +138,12 @@ val to_json : report -> string
 val write_json : path:string -> report -> unit
 
 val check_baseline : ?tolerance:float -> path:string -> report -> (unit, string) result
-(** [check_baseline ~path r] compares [r]'s allocation rates (including
-    the obs-disabled leg) against the committed baseline JSON at [path],
-    by name, and fails if any is more than [tolerance] (default 0.05)
-    slower — the observability overhead gate.  The baseline must have
-    been recorded with the same [quick] flag. *)
+(** [check_baseline ~path r] compares [r]'s allocation rates (plus the
+    obs-disabled leg and the no-checkpoint write-churn leg) against the
+    committed baseline JSON at [path], by name, and fails if any is more
+    than [tolerance] (default 0.05) slower — the observability and
+    dirty-tracking overhead gate.  The baseline must have been recorded
+    with the same [quick] flag. *)
 
 val print : report -> unit
 (** Human-readable summary on stdout. *)

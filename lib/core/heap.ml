@@ -78,6 +78,59 @@ let config t = t.config
 let stats t = t.stats
 let rng t = t.rng
 
+(* --- snapshot / restore ---
+
+   The checkpoint layer in {!Dh_mem.Mem} rewinds the simulated address
+   space, but DieHard's metadata (bitmaps, the rng, the large-object
+   table, counters) deliberately lives *outside* it — the paper's
+   metadata segregation.  Rewind-and-discard recovery therefore snapshots
+   the metadata here and restores it in lockstep with [Mem.rewind], or
+   the bitmaps would claim objects whose bytes were just rolled back.
+
+   Everything is restored in place: the allocator record handed out by
+   {!allocator}, registered gauges, and the interpreter all alias
+   [t.stats] / [t.rng] / the per-region bitmaps, and must observe the
+   restored state through those aliases. *)
+
+type region_snapshot = { rs_bitmap : Bitmap.t; rs_base : int; rs_in_use : int }
+
+type snapshot = {
+  snap_regions : region_snapshot array;
+  snap_large : large_object Imap.t;  (* immutable map of immutable records *)
+  snap_rng : Mwc.t;
+  snap_stats : Stats.t;
+}
+
+let snapshot t =
+  {
+    snap_regions =
+      Array.map
+        (fun region ->
+          {
+            rs_bitmap = Bitmap.copy region.bitmap;
+            rs_base = region.base;
+            rs_in_use = region.in_use;
+          })
+        t.regions;
+    snap_large = t.large;
+    snap_rng = Mwc.copy t.rng;
+    snap_stats = Stats.copy t.stats;
+  }
+
+let restore t snap =
+  Array.iteri
+    (fun i rs ->
+      let region = t.regions.(i) in
+      Bitmap.assign region.bitmap ~from:rs.rs_bitmap;
+      region.base <- rs.rs_base;
+      region.in_use <- rs.rs_in_use)
+    snap.snap_regions;
+  t.large <- snap.snap_large;
+  Mwc.assign t.rng ~from:snap.snap_rng;
+  Stats.assign t.stats ~from:snap.snap_stats
+
+let reseed t ~seed = Mwc.reseed t.rng ~seed
+
 (* Lazily map a region; in replicated mode, fill it with random values
    (the DieHardInitHeap random fill of Figure 2, done per region because
    regions are mapped on demand). *)

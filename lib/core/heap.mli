@@ -40,6 +40,31 @@ val allocator : t -> Dh_alloc.Allocator.t
 
 val stats : t -> Dh_alloc.Stats.t
 
+(** {1 Snapshot / restore}
+
+    DieHard's metadata is segregated from the simulated address space, so
+    {!Dh_mem.Mem.rewind} alone would desynchronize bitmaps from bytes.
+    These capture and restore the metadata half of a checkpoint; the
+    supervisor takes both halves atomically.  Restoration is in place:
+    aliases to the heap's stats, rng and bitmaps (the {!allocator} record,
+    registered gauges) observe the restored state. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Copy the bitmaps, region states, large-object table, rng state and
+    counters — O(bitmap bytes), independent of heap size. *)
+
+val restore : t -> snapshot -> unit
+(** Restore a snapshot taken on this same heap. *)
+
+val reseed : t -> seed:int -> unit
+(** Reset the heap's generator in place to a fresh seed — the
+    randomness-refresh half of rewind-and-reseed recovery: replayed
+    allocations draw fresh placements, so a deterministic heap error is
+    unlikely to recur at the same spot (the paper's independence
+    argument, applied in time rather than across replicas). *)
+
 (** {1 Introspection for experiments and tests} *)
 
 val object_size : t -> int -> int option

@@ -10,10 +10,20 @@ type policy = {
   rescue : bool;
   diagnose : bool;
   fuel : int;
+  checkpoint_interval : int;
+  max_rewinds : int;
 }
 
 let default_policy =
-  { max_retries = 3; backoff = 2; rescue = true; diagnose = true; fuel = 50_000_000 }
+  {
+    max_retries = 3;
+    backoff = 2;
+    rescue = true;
+    diagnose = true;
+    fuel = 50_000_000;
+    checkpoint_interval = 0;
+    max_rewinds = 8;
+  }
 
 type mode = Randomized | Rescue
 
@@ -25,11 +35,19 @@ type plan = {
   mode : mode;
 }
 
+type recovery = {
+  checkpoints : int;
+  rewinds : int;
+  pages_restored : int;
+  preimaged_pages : int;
+}
+
 type attempt_report = {
   plan : plan;
   outcome : Process.outcome;
   ok : bool;
   fuel_burned : int;
+  recovery : recovery option;
 }
 
 type verdict = Survived of int | Gave_up
@@ -64,20 +82,84 @@ let plan_for ~(config : Config.t) ~backoff ~seed ~mode attempt =
     mode;
   }
 
-let build_alloc plan =
+let build_heap plan =
   let mem = Dh_mem.Mem.create () in
   let config =
     Config.v ~multiplier:plan.multiplier ~heap_size:plan.heap_size ~seed:plan.seed ()
   in
-  let base = Heap.allocator (Heap.create ~config mem) in
-  match plan.mode with
-  | Randomized -> base
-  | Rescue -> Dh_alloc.Rescue.wrap base
+  let heap = Heap.create ~config mem in
+  let base = Heap.allocator heap in
+  let alloc =
+    match plan.mode with
+    | Randomized -> base
+    | Rescue -> Dh_alloc.Rescue.wrap base
+  in
+  (heap, alloc)
+
+(* --- the rewind rung ---
+
+   One rung below retry-with-reseed: instead of restarting a crashed run
+   from scratch, arm a copy-on-write checkpoint every
+   [checkpoint_interval] requests, and on a fault rewind the address
+   space and the heap metadata to the last checkpoint, reseed the
+   allocator (fresh placements for the replayed window — the paper's
+   independence argument applied in time), and replay the window.  Only
+   when the rewind budget is exhausted does the fault escape and the
+   classic ladder escalate.
+
+   Requires the step-structured [Program.service] shape: [handle k] keeps
+   all its mutable state in simulated memory, so memory + heap-metadata
+   restoration IS resumption.  Fuel is deliberately not rewound — the
+   replayed work really happened, and a fault that recurs forever
+   converges to [Out_of_fuel] rather than looping. *)
+
+let run_service ctx (svc : Program.service) heap ~interval ~max_rewinds
+    ~reseed_of ~checkpoints ~rewinds ~pages_restored =
+  let mem = ctx.Program.alloc.Dh_alloc.Allocator.mem in
+  let h = svc.Program.init ctx in
+  let k = ref 0 in
+  while !k < svc.Program.requests do
+    let window_start = !k in
+    let window_end = min svc.Program.requests (window_start + interval) in
+    Dh_mem.Mem.checkpoint mem;
+    let snap = Heap.snapshot heap in
+    let out_mark = Process.Out.length ctx.Program.out in
+    incr checkpoints;
+    (try
+       while !k < window_end do
+         h.handle !k;
+         incr k
+       done
+     with Dh_mem.Fault.Error _ when !rewinds < max_rewinds ->
+       let report = Dh_mem.Mem.rewind mem in
+       Heap.restore heap snap;
+       Process.Out.truncate ctx.Program.out out_mark;
+       Heap.reseed heap ~seed:(reseed_of !rewinds);
+       pages_restored := !pages_restored + report.Dh_mem.Mem.pages_restored;
+       incr rewinds;
+       (if Dh_obs.Control.enabled () then
+          Dh_obs.Tracing.instant
+            ~arg:(string_of_int report.Dh_mem.Mem.pages_restored)
+            "supervisor.rewind");
+       k := window_start)
+  done;
+  Dh_mem.Mem.discard_checkpoint mem;
+  h.finish ()
 
 (* Like {!Program.run}, but with our own fuel cell so the incident can
-   charge each attempt for the steps it actually burned. *)
-let execute ~policy_kind ~input ~now ~fuel program alloc =
+   charge each attempt for the steps it actually burned.  When [ckpt]
+   supplies the heap and the program has the service shape, the run goes
+   through the rewind rung above and the recovery counters are reported
+   even if the attempt ultimately dies. *)
+let execute ?ckpt ~policy_kind ~input ~now ~fuel program alloc =
   let cell = Process.Fuel.create ~budget:fuel in
+  let checkpoints = ref 0 and rewinds = ref 0 and pages_restored = ref 0 in
+  let checkpointed =
+    match (ckpt, program.Program.service) with
+    | Some (heap, interval, max_rewinds, reseed_of), Some svc when interval > 0 ->
+      Some (heap, interval, max_rewinds, reseed_of, svc)
+    | _ -> None
+  in
   let result =
     Process.run (fun out ->
         let context =
@@ -90,12 +172,28 @@ let execute ~policy_kind ~input ~now ~fuel program alloc =
             fuel = cell;
           }
         in
-        program.Program.main context)
+        match checkpointed with
+        | Some (heap, interval, max_rewinds, reseed_of, svc) ->
+          run_service context svc heap ~interval ~max_rewinds ~reseed_of
+            ~checkpoints ~rewinds ~pages_restored
+        | None -> program.Program.main context)
   in
   let burned =
     match Process.Fuel.remaining cell with Some left -> fuel - left | None -> 0
   in
-  (result, burned)
+  let recovery =
+    match checkpointed with
+    | None -> None
+    | Some _ ->
+      Some
+        {
+          checkpoints = !checkpoints;
+          rewinds = !rewinds;
+          pages_restored = !pages_restored;
+          preimaged_pages = Dh_mem.Mem.preimaged_pages alloc.Dh_alloc.Allocator.mem;
+        }
+  in
+  (result, burned, recovery)
 
 let run ?(policy = default_policy) ?(config = Config.default)
     ?(seed_pool = Seed.create ~master:config.Config.seed) ?(input = "") ?(now = 0)
@@ -103,6 +201,9 @@ let run ?(policy = default_policy) ?(config = Config.default)
     ?(wrap = fun _plan alloc -> alloc) program =
   if policy.max_retries < 0 then invalid_arg "Supervisor: max_retries must be >= 0";
   if policy.backoff < 1 then invalid_arg "Supervisor: backoff must be >= 1";
+  if policy.checkpoint_interval < 0 then
+    invalid_arg "Supervisor: checkpoint_interval must be >= 0";
+  if policy.max_rewinds < 0 then invalid_arg "Supervisor: max_rewinds must be >= 0";
   (* Honor the config's obs knob for the duration of this run (telemetry
      is write-only, so the incident is unaffected apart from [flight]). *)
   let obs_was = Dh_obs.Control.enabled () in
@@ -111,9 +212,24 @@ let run ?(policy = default_policy) ?(config = Config.default)
   let attempt_under plan =
     Dh_obs.Tracing.span ~arg:(string_of_int plan.attempt) "supervisor.attempt"
     @@ fun () ->
-    let alloc = wrap plan (build_alloc plan) in
-    let result, fuel_burned =
-      execute ~policy_kind ~input ~now ~fuel:policy.fuel program alloc
+    let heap, base_alloc = build_heap plan in
+    let alloc = wrap plan base_alloc in
+    (* The rewind rung applies to randomized attempts of service-shaped
+       programs; the rescue rung stays from-scratch (its wrapper defers
+       frees in OCaml state the rewind layer cannot restore). *)
+    let ckpt =
+      if plan.mode = Randomized && policy.checkpoint_interval > 0 then
+        (* Reseeds are derived from the attempt's seed, not drawn from the
+           pool: the ladder's seed assignment stays frozen up front. *)
+        Some
+          ( heap,
+            policy.checkpoint_interval,
+            policy.max_rewinds,
+            fun i -> plan.seed lxor ((i + 1) * 0x9E3779B9) )
+      else None
+    in
+    let result, fuel_burned, recovery =
+      execute ?ckpt ~policy_kind ~input ~now ~fuel:policy.fuel program alloc
     in
     let ok = success result in
     (* A memory fault has already been captured at raise time by [Mem];
@@ -128,7 +244,7 @@ let run ?(policy = default_policy) ?(config = Config.default)
              (Format.asprintf "supervisor attempt %d failed: %a" plan.attempt
                 Process.pp_outcome outcome)
            ());
-    ({ plan; outcome = result.Process.outcome; ok; fuel_burned }, result)
+    ({ plan; outcome = result.Process.outcome; ok; fuel_burned; recovery }, result)
   in
   (* Replay the failed attempt — same seed, same heap shape, same wrap —
      under canary instrumentation, purely to classify the fault. *)
@@ -141,7 +257,7 @@ let run ?(policy = default_policy) ?(config = Config.default)
       Config.v ~multiplier:plan.multiplier ~heap_size:plan.heap_size ~seed:plan.seed ()
     in
     let canary, instrumented = Canary.wrap (Heap.allocator (Heap.create ~config:cfg mem)) in
-    let result, fuel_burned =
+    let result, fuel_burned, _ =
       execute ~policy_kind ~input ~now ~fuel:policy.fuel program (wrap plan instrumented)
     in
     Canary.sweep canary;
@@ -229,12 +345,18 @@ let pp_incident ppf i =
     i.total_fuel;
   List.iter
     (fun a ->
-      Format.fprintf ppf "  attempt %d: %-7s seed=%-11d M=%-3d heap=%-7s -> %a  [fuel %d]@."
+      Format.fprintf ppf "  attempt %d: %-7s seed=%-11d M=%-3d heap=%-7s -> %a  [fuel %d]%t@."
         a.plan.attempt
         (match a.plan.mode with Randomized -> "diehard" | Rescue -> "rescue")
         a.plan.seed a.plan.multiplier
         (heap_to_string a.plan.heap_size)
-        Process.pp_outcome a.outcome a.fuel_burned)
+        Process.pp_outcome a.outcome a.fuel_burned
+        (fun ppf ->
+          match a.recovery with
+          | Some r when r.checkpoints > 0 ->
+            Format.fprintf ppf "  [ckpt %d, rewinds %d, pages restored %d, pre-imaged %d]"
+              r.checkpoints r.rewinds r.pages_restored r.preimaged_pages
+          | Some _ | None -> ()))
     i.attempts;
   (match i.diagnosis with
   | None -> ()

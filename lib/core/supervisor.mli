@@ -7,7 +7,12 @@
     this module exploits in time.  The supervisor runs a program under
     an escalation ladder:
 
-    + run under a DieHard heap with a fresh seed;
+    + run under a DieHard heap with a fresh seed — and, for
+      service-shaped programs with [checkpoint_interval > 0], under
+      copy-on-write checkpoints: a fault {b rewinds} to the last good
+      checkpoint in O(dirty pages), reseeds the allocator in place, and
+      replays the window, up to [max_rewinds] times per attempt (see
+      DESIGN.md, "Rewind-and-discard recovery");
     + on a crash, abort or timeout, {b retry} up to [max_retries] times,
       each with a fresh seed from the {!Dh_rng.Seed} pool and with the
       heap-expansion factor M (and the heap itself) multiplied by
@@ -42,10 +47,18 @@ type policy = {
           classify it.  The replay's outcome is never used for survival;
           its fuel is charged to the incident. *)
   fuel : int;  (** Step budget per attempt. *)
+  checkpoint_interval : int;
+      (** Requests per copy-on-write checkpoint window for service-shaped
+          programs ({!Dh_alloc.Program.service}); 0 disables the rewind
+          rung entirely. *)
+  max_rewinds : int;
+      (** Rewind budget per randomized attempt; once spent, the next
+          fault escapes to the classic retry ladder. *)
 }
 
 val default_policy : policy
-(** 3 retries, backoff 2, rescue and diagnosis on, 50M steps fuel. *)
+(** 3 retries, backoff 2, rescue and diagnosis on, 50M steps fuel,
+    rewind rung off (interval 0; budget 8 when enabled). *)
 
 type mode =
   | Randomized  (** A plain DieHard heap. *)
@@ -59,11 +72,25 @@ type plan = {
   mode : mode;
 }
 
+type recovery = {
+  checkpoints : int;  (** Checkpoint windows armed during the attempt. *)
+  rewinds : int;  (** Faults survived by rewind-and-reseed. *)
+  pages_restored : int;  (** Total pages blitted back across rewinds. *)
+  preimaged_pages : int;
+      (** Copy-on-write page copies taken — the checkpointing overhead
+          actually paid, O(dirty) not O(heap). *)
+}
+(** What the rewind rung did during one attempt.  Reported even when the
+    attempt ultimately failed (budget exhausted, fuel out). *)
+
 type attempt_report = {
   plan : plan;
   outcome : Dh_mem.Process.outcome;
   ok : bool;  (** Did this attempt satisfy the success predicate? *)
   fuel_burned : int;
+  recovery : recovery option;
+      (** [Some] iff the attempt ran under the rewind rung (randomized
+          mode, [checkpoint_interval > 0], service-shaped program). *)
 }
 
 type verdict =

@@ -24,6 +24,14 @@ let create ~seed =
 
 let copy t = { z = t.z; w = t.w }
 
+let assign t ~from =
+  t.z <- from.z;
+  t.w <- from.w
+
+let reseed t ~seed =
+  let fresh = create ~seed in
+  assign t ~from:fresh
+
 let next_u32 t =
   t.z <- (36969 * (t.z land mask16)) + (t.z lsr 16);
   t.w <- (18000 * (t.w land mask16)) + (t.w lsr 16);

@@ -21,6 +21,15 @@ val copy : t -> t
 (** [copy t] is an independent generator starting from [t]'s current
     state.  Advancing one does not affect the other. *)
 
+val assign : t -> from:t -> unit
+(** [assign t ~from] overwrites [t]'s state with [from]'s — restoring a
+    snapshot taken with {!copy} without disturbing aliases to [t]. *)
+
+val reseed : t -> seed:int -> unit
+(** [reseed t ~seed] resets [t] in place to the state [create ~seed]
+    would produce.  In-place so every alias sees the fresh stream — the
+    rewind-and-reseed recovery path depends on this. *)
+
 val next_u32 : t -> int
 (** [next_u32 t] returns the next output, a uniform integer in
     [\[0, 2{^32})]. *)

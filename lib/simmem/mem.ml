@@ -10,6 +10,15 @@ type segment = {
   data : Bytes.t;
   prot : prot array;  (* one entry per page *)
   touched : bool array;  (* pages written at least once *)
+  dirty_epoch : int array;
+      (* per page: the checkpoint epoch in which it was last dirtied.
+         "Dirty now" means [dirty_epoch.(p) = t.epoch]; arming or
+         rewinding a checkpoint bumps [t.epoch], so the whole space is
+         cleaned in O(1) with no per-page sweep. *)
+  born_epoch : int;
+      (* epoch at mmap time: a segment with [born_epoch = t.epoch] was
+         mapped after the active checkpoint and is discarded wholesale on
+         rewind (no pre-images are kept for it). *)
 }
 
 module Imap = Map.Make (Int)
@@ -21,6 +30,14 @@ type stats = {
   munmaps : int;
   tlb_misses : int;
   cache_misses : int;
+  dirty_pages : int;
+}
+
+type rewind_report = {
+  pages_restored : int;
+  segments_remapped : int;
+  segments_discarded : int;
+  protections_restored : int;
 }
 
 (* A small TLB model: [tlb_entries] pages, direct-mapped.  Feeds the
@@ -38,6 +55,35 @@ let tlb_entries = 64
 let cache_lines = 1024
 let cache_line_shift = 6
 
+(* --- the checkpoint/rewind layer ---
+
+   Rewind-and-discard recovery (after the ARM Morello line of work):
+   [checkpoint] arms an undo log; the write paths then save a 4 KiB
+   pre-image of each page the first time it is dirtied in the current
+   epoch (copy-on-write — arming itself copies nothing).  [rewind] blits
+   the pre-images back, undoes mapping deltas (segments mapped since the
+   checkpoint are discarded, segments unmapped since are re-inserted,
+   protection changes reverted) and restores [next_base], so a resumed
+   execution re-draws the very same addresses a never-faulted run would
+   have — O(dirty) recovery instead of O(run) re-execution.
+
+   The exact-fault discipline composes for free: every multi-byte
+   operation validates its whole range before mutating anything or
+   marking anything dirty, so a fault mid-bulk-op leaves the undo log
+   describing precisely the pre-op state. *)
+
+type ckpt = {
+  mutable pre : (segment * int * Bytes.t) list;
+      (* (segment, page, pre-image), newest first *)
+  mutable pre_count : int;
+  mutable born : int list;  (* bases of segments mapped since arming *)
+  mutable gone : segment list;  (* segments unmapped since arming *)
+  mutable prot_log : (segment * int * prot) list;
+      (* protection pre-states, newest first: replaying the whole list in
+         order ends on the oldest (arm-time) value for every page *)
+  ck_next_base : int;
+}
+
 type t = {
   mutable segments : segment Imap.t;  (* keyed by base *)
   mutable next_base : int;
@@ -51,6 +97,11 @@ type t = {
   mutable tlb_misses : int;
   dcache : int array;  (* direct-mapped line tags; -1 = empty *)
   mutable cache_misses : int;
+  mutable ckpt : ckpt option;  (* the armed checkpoint, if any *)
+  mutable epoch : int;
+      (* current dirty epoch; bumped by checkpoint/rewind/discard *)
+  mutable dirty : int;  (* pages dirtied in the current epoch *)
+  mutable preimaged : int;  (* cumulative pages pre-imaged (COW copies) *)
 }
 
 (* TLB/cache accounting publishes through the metrics registry as
@@ -66,6 +117,8 @@ let publish_metrics t =
   g "tlb_misses" (fun () -> t.tlb_misses);
   g "cache_misses" (fun () -> t.cache_misses);
   g "touched_pages" (fun () -> t.touched_pages);
+  g "dirty_pages" (fun () -> t.dirty);
+  g "preimaged_pages" (fun () -> t.preimaged);
   g "mapped_bytes" (fun () -> Imap.fold (fun _ seg acc -> acc + seg.len) t.segments 0)
 
 let create () =
@@ -83,6 +136,10 @@ let create () =
     tlb_misses = 0;
     dcache = Array.make cache_lines (-1);
     cache_misses = 0;
+    ckpt = None;
+    epoch = 0;
+    dirty = 0;
+    preimaged = 0;
   }
   in
   if Dh_obs.Control.enabled () then publish_metrics t;
@@ -139,10 +196,14 @@ let mmap t ?(prot = Read_write) len =
       data = Bytes.make len '\000';
       prot = Array.make pages prot;
       touched = Array.make pages false;
+      (* -1 never equals a live epoch: fresh pages start clean. *)
+      dirty_epoch = Array.make pages (-1);
+      born_epoch = t.epoch;
     }
   in
   t.segments <- Imap.add base seg t.segments;
   t.mmaps <- t.mmaps + 1;
+  (match t.ckpt with Some c -> c.born <- base :: c.born | None -> ());
   base
 
 let find_segment t addr =
@@ -215,17 +276,51 @@ let neighborhood t center =
     done;
     Buffer.contents b
 
+(* The faulting window's dirty-page delta: which pages the current
+   checkpoint window wrote, and how far each has diverged from its
+   pre-image — the time-travel view of the crash site. *)
+let dirty_delta t c =
+  let b = Buffer.create 256 in
+  Printf.bprintf b
+    "%d pages dirty since last checkpoint (%d pre-imaged, %d in newborn segments)\n"
+    t.dirty c.pre_count (t.dirty - c.pre_count);
+  let shown = ref 0 in
+  List.iter
+    (fun (seg, p, img) ->
+      if !shown < 32 then begin
+        incr shown;
+        let off = p lsl page_shift in
+        let changed = ref 0 in
+        for i = 0 to page_size - 1 do
+          if Bytes.get img i <> Bytes.get seg.data (off + i) then incr changed
+        done;
+        Printf.bprintf b "  page 0x%08x: %4d/%d bytes differ from checkpoint\n"
+          (seg.base + off) !changed page_size
+      end)
+    c.pre;
+  if c.pre_count > !shown then
+    Printf.bprintf b "  ... %d more pre-imaged pages\n" (c.pre_count - !shown);
+  Buffer.contents b
+
 let raise_fault t f =
-  if Dh_obs.Control.enabled () then
-    Dh_obs.Recorder.trigger
-      ~sections:
+  if Dh_obs.Control.enabled () then begin
+    let neighborhood_section =
+      {
+        Dh_obs.Recorder.title = "fault neighborhood";
+        body = neighborhood t (fault_addr_of f);
+      }
+    in
+    let sections =
+      match t.ckpt with
+      | Some c ->
         [
-          {
-            Dh_obs.Recorder.title = "fault neighborhood";
-            body = neighborhood t (fault_addr_of f);
-          };
+          neighborhood_section;
+          { Dh_obs.Recorder.title = "dirty-page delta"; body = dirty_delta t c };
         ]
-      ~reason:(Fault.to_string f) ();
+      | None -> [ neighborhood_section ]
+    in
+    Dh_obs.Recorder.trigger ~sections ~reason:(Fault.to_string f) ()
+  end;
   Fault.raise_fault f
 
 let munmap t base =
@@ -234,6 +329,13 @@ let munmap t base =
   | Some seg ->
     t.segments <- Imap.remove base t.segments;
     t.munmaps <- t.munmaps + 1;
+    (match t.ckpt with
+    | Some c ->
+      if List.mem base c.born then
+        (* Born and gone entirely inside the window: rewind need not know. *)
+        c.born <- List.filter (fun b -> b <> base) c.born
+      else c.gone <- seg :: c.gone
+    | None -> ());
     (match t.cache with
     | Some c when c.base = seg.base -> t.cache <- None
     | Some _ | None -> ())
@@ -249,6 +351,10 @@ let protect t ~addr ~len prot =
     let first = (addr - seg.base) / page_size in
     let last = (addr + len - 1 - seg.base) / page_size in
     for p = first to last do
+      (match t.ckpt with
+      | Some c when seg.born_epoch <> t.epoch && seg.prot.(p) <> prot ->
+        c.prot_log <- (seg, p, seg.prot.(p)) :: c.prot_log
+      | Some _ | None -> ());
       seg.prot.(p) <- prot
     done
 
@@ -261,6 +367,20 @@ let mark_touched t seg page =
   if not seg.touched.(page) then begin
     seg.touched.(page) <- true;
     t.touched_pages <- t.touched_pages + 1
+  end;
+  if seg.dirty_epoch.(page) <> t.epoch then begin
+    seg.dirty_epoch.(page) <- t.epoch;
+    t.dirty <- t.dirty + 1;
+    match t.ckpt with
+    | Some c when seg.born_epoch <> t.epoch ->
+      (* First write to this page since the checkpoint: save its pre-image
+         before the caller mutates it (every write path marks before it
+         blits).  Segments born after the checkpoint are discarded whole
+         on rewind, so their pages need no copies. *)
+      c.pre <- (seg, page, Bytes.sub seg.data (page lsl page_shift) page_size) :: c.pre;
+      c.pre_count <- c.pre_count + 1;
+      t.preimaged <- t.preimaged + 1
+    | Some _ | None -> ()
   end
 
 (* Per-byte access check.  Returns the segment so callers can then touch
@@ -496,6 +616,70 @@ let cstring ?limit t addr =
   in
   scan addr limit
 
+(* --- checkpoint / rewind --- *)
+
+let checkpoint t =
+  (* Incremental by construction: arming copies nothing.  If a checkpoint
+     was already armed its undo log is dropped (the old window commits) —
+     only pages dirtied after this call will ever be pre-imaged. *)
+  t.ckpt <-
+    Some
+      {
+        pre = [];
+        pre_count = 0;
+        born = [];
+        gone = [];
+        prot_log = [];
+        ck_next_base = t.next_base;
+      };
+  t.epoch <- t.epoch + 1;
+  t.dirty <- 0
+
+let checkpointed t = Option.is_some t.ckpt
+
+let discard_checkpoint t =
+  t.ckpt <- None;
+  t.epoch <- t.epoch + 1;
+  t.dirty <- 0
+
+let rewind t =
+  match t.ckpt with
+  | None -> invalid_arg "Mem.rewind: no checkpoint armed"
+  | Some c ->
+    (* Segments mapped since the checkpoint vanish wholesale... *)
+    let segments_discarded = List.length c.born in
+    List.iter (fun base -> t.segments <- Imap.remove base t.segments) c.born;
+    (* ...segments unmapped since come back exactly as they were (their
+       records were never mutated after the unmap, and any writes before
+       it have pre-images below). *)
+    let segments_remapped = List.length c.gone in
+    List.iter (fun seg -> t.segments <- Imap.add seg.base seg t.segments) c.gone;
+    (* Protection pre-states, newest first: the oldest entry for a page
+       lands last, restoring its arm-time protection. *)
+    let protections_restored = List.length c.prot_log in
+    List.iter (fun (seg, p, prot) -> seg.prot.(p) <- prot) c.prot_log;
+    List.iter
+      (fun (seg, p, img) -> Bytes.blit img 0 seg.data (p lsl page_shift) page_size)
+      c.pre;
+    let pages_restored = c.pre_count in
+    t.next_base <- c.ck_next_base;
+    t.cache <- None;
+    (* The checkpoint stays armed: a second fault in the resumed window
+       rewinds to the same state (double-rewind).  Fresh pre-images will
+       be re-saved on the next writes — and they equal these, because the
+       pages have just been restored. *)
+    c.pre <- [];
+    c.pre_count <- 0;
+    c.born <- [];
+    c.gone <- [];
+    c.prot_log <- [];
+    t.epoch <- t.epoch + 1;
+    t.dirty <- 0;
+    { pages_restored; segments_remapped; segments_discarded; protections_restored }
+
+let dirty_pages t = t.dirty
+let preimaged_pages t = t.preimaged
+
 let stats t =
   {
     reads = t.reads;
@@ -504,6 +688,7 @@ let stats t =
     munmaps = t.munmaps;
     tlb_misses = t.tlb_misses;
     cache_misses = t.cache_misses;
+    dirty_pages = t.dirty;
   }
 
 let touched_pages t = t.touched_pages
@@ -519,5 +704,6 @@ let pp_stats ppf (s : stats) =
         (100. *. (1. -. (float_of_int misses /. float_of_int accesses)))
   in
   Format.fprintf ppf
-    "reads=%d writes=%d mmaps=%d munmaps=%d tlb-hit=%s cache-hit=%s" s.reads
-    s.writes s.mmaps s.munmaps (hit s.tlb_misses) (hit s.cache_misses)
+    "reads=%d writes=%d mmaps=%d munmaps=%d dirty=%d tlb-hit=%s cache-hit=%s"
+    s.reads s.writes s.mmaps s.munmaps s.dirty_pages (hit s.tlb_misses)
+    (hit s.cache_misses)

@@ -100,6 +100,54 @@ val cstring : ?limit:int -> t -> int -> string
     most [limit] bytes and returns them unterminated if no NUL was found —
     the bounded scan [strncpy]-style consumers need. *)
 
+(** {1 Checkpoint / rewind}
+
+    Copy-on-write checkpoints for rewind-and-discard recovery (see
+    DESIGN.md, "Rewind-and-discard recovery").  {!checkpoint} arms an undo
+    log; the write paths then save a page's pre-image the first time it is
+    dirtied after the arm — arming itself copies nothing, so checkpoints
+    are incremental and cost O(pages dirtied in the window), not O(heap).
+    {!rewind} restores exactly the dirty set and undoes mapping deltas
+    (segments mapped since the checkpoint are discarded, segments unmapped
+    since are re-inserted, protection changes reverted), and restores the
+    internal base-address allocator, so a rewound-and-resumed execution
+    draws the same addresses a never-faulted run would.
+
+    Because every multi-byte operation validates its whole range before
+    mutating anything or marking anything dirty, a fault mid-bulk-op
+    leaves the undo log describing precisely the pre-op state: rewind
+    after a fault is always exact. *)
+
+val checkpoint : t -> unit
+(** Arm (or re-arm) the checkpoint.  Re-arming commits the previous
+    window: its undo log is dropped. *)
+
+val checkpointed : t -> bool
+(** Whether a checkpoint is armed. *)
+
+val discard_checkpoint : t -> unit
+(** Disarm without rewinding; the current state becomes permanent. *)
+
+type rewind_report = {
+  pages_restored : int;  (** Pre-imaged pages blitted back. *)
+  segments_remapped : int;  (** Segments un-unmapped. *)
+  segments_discarded : int;  (** Segments mapped since the arm, dropped. *)
+  protections_restored : int;  (** Per-page protection reverts applied. *)
+}
+
+val rewind : t -> rewind_report
+(** Restore the state at the last {!checkpoint} in O(dirty) and leave the
+    checkpoint armed (a second fault rewinds to the same state).  Raises
+    [Invalid_argument] if no checkpoint is armed. *)
+
+val dirty_pages : t -> int
+(** Pages dirtied in the current checkpoint window (or since creation /
+    the last discard when no checkpoint is armed). *)
+
+val preimaged_pages : t -> int
+(** Cumulative count of page pre-images taken — the copy-on-write work
+    actually performed, i.e. the checkpoint subsystem's overhead proxy. *)
+
 (** {1 Accounting} *)
 
 type stats = {
@@ -116,6 +164,9 @@ type stats = {
       (** Misses in a 1024-line (64 B) direct-mapped data-cache model
           charged once per line an access spans — charges cold traversals
           such as GC marking and randomly-placed object touches. *)
+  dirty_pages : int;
+      (** Pages dirtied in the current checkpoint window — the working-set
+          churn the rewind layer would have to restore right now. *)
 }
 
 val stats : t -> stats

@@ -39,6 +39,8 @@ module Out = struct
     Format.kasprintf (Buffer.add_string t) fmt
 
   let contents t = Buffer.contents t
+  let length t = Buffer.length t
+  let truncate t n = Buffer.truncate t n
 end
 
 let run f =

@@ -46,6 +46,15 @@ module Out : sig
   val print_char : t -> char -> unit
   val printf : t -> ('a, Format.formatter, unit) format -> 'a
   val contents : t -> string
+
+  val length : t -> int
+  (** Bytes written so far — take it before a checkpointed window so the
+      output can be rewound along with memory. *)
+
+  val truncate : t -> int -> unit
+  (** [truncate t n] discards everything written after byte [n].  The
+      rewind layer uses it to un-print the output of a discarded window
+      (raises [Invalid_argument] if [n] exceeds {!length}). *)
 end
 
 val run : (Out.t -> unit) -> result

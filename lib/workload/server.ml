@@ -1,0 +1,178 @@
+module Mem = Dh_mem.Mem
+module Process = Dh_mem.Process
+module Program = Dh_alloc.Program
+module Allocator = Dh_alloc.Allocator
+
+(* Layout constants.  Nodes and URL buffers are sized to land in the 32 B
+   size class, so the 64 B class holds nothing but title buffers: an
+   overflowing title tramples only free title slots (the current request's
+   title is the sole live one) or runs off the region into the unmapped
+   hole page and faults — never silently corrupts the cache.  That is the
+   paper's Squid story, and it is also what keeps the server's output a
+   pure function of the request stream no matter where objects land. *)
+let bucket_count = 64
+let node_size = 32 (* key, next, hits, url pointer *)
+let title_size = 64
+let max_chain = 6
+let key_space = 1024
+let progress_every = 512
+
+(* splitmix-style request hash: everything about request [k] derives from
+   this, so a rewound-and-replayed window rebuilds identical requests. *)
+let mix k =
+  let h = (k * 0x9E3779B9) + 0x7F4A7C15 in
+  let h = (h lxor (h lsr 16)) * 0x85EBCA6B in
+  (h lxor (h lsr 13)) land 0x3FFFFFFF
+
+let key_of k = mix k land (key_space - 1)
+
+let url_of ~attack_len k =
+  let base = Printf.sprintf "http://h%03x.example/%d" (key_of k) (mix (k + 1) land 0xFFF) in
+  match attack_len with
+  | None -> base
+  | Some len when len > String.length base ->
+    base ^ String.make (len - String.length base) 'A'
+  | Some _ -> base
+
+(* Counter block offsets (a malloc'd block of simulated memory: the
+   server keeps NO mutable OCaml state, which is what makes memory
+   rewind a complete resume). *)
+let c_stored = 0
+let c_hits = 8
+let c_failed = 16
+let c_checksum = 24
+let counters_size = 32
+
+let service ~requests ?(attack_every = 0) ?(attack_len = 3000) () =
+  let init ctx =
+    let a = ctx.Program.alloc in
+    let mem = a.Allocator.mem in
+    let must sz =
+      match a.Allocator.malloc sz with
+      | Some p -> p
+      | None -> raise (Process.Abort "server: out of memory at boot")
+    in
+    let table = must (bucket_count * 8) in
+    let counters = must counters_size in
+    Mem.fill mem ~addr:table ~len:(bucket_count * 8) '\000';
+    Mem.fill mem ~addr:counters ~len:counters_size '\000';
+    let bump off v =
+      Mem.write64 mem (counters + off) (Mem.read64 mem (counters + off) + v)
+    in
+    (* The unchecked strcpy of Squid 2.3s5: bytewise, no bounds test, into
+       a fixed 64-byte title buffer.  A well-formed URL fits; an overlong
+       one writes on past the end of the slot. *)
+    let strcpy dst s =
+      for i = 0 to String.length s - 1 do
+        Mem.write8 mem (dst + i) (Char.code s.[i])
+      done;
+      Mem.write8 mem (dst + String.length s) 0
+    in
+    let handle k =
+      Process.Fuel.burn ctx.Program.fuel;
+      let attack = attack_every > 0 && k > 0 && k mod attack_every = attack_every - 1 in
+      let url = url_of ~attack_len:(if attack then Some attack_len else None) k in
+      let key = key_of k in
+      let bucket = table + (key land (bucket_count - 1)) * 8 in
+      let rec find node depth =
+        if node = 0 then (None, depth)
+        else if Mem.read64 mem node = key then (Some node, depth)
+        else begin
+          Process.Fuel.burn ctx.Program.fuel;
+          find (Mem.read64 mem (node + 8)) (depth + 1)
+        end
+      in
+      let found, depth = find (Mem.read64 mem bucket) 0 in
+      let node_hits =
+        match found with
+        | Some node ->
+          let h = Mem.read64 mem (node + 16) + 1 in
+          Mem.write64 mem (node + 16) h;
+          bump c_hits 1;
+          h
+        | None -> (
+          (* miss: store a node and its URL copy (both 32 B class) *)
+          match (a.Allocator.malloc node_size, a.Allocator.malloc (String.length url + 1)) with
+          | Some node, Some ucopy ->
+            strcpy ucopy url;
+            Mem.write64 mem node key;
+            Mem.write64 mem (node + 8) (Mem.read64 mem bucket);
+            Mem.write64 mem (node + 16) 0;
+            Mem.write64 mem (node + 24) ucopy;
+            Mem.write64 mem bucket node;
+            bump c_stored 1;
+            (* keep chains bounded: truncate past max_chain, freeing the
+               evicted suffix (the server's steady free traffic) *)
+            if depth >= max_chain then begin
+              let rec nth node i =
+                if node = 0 || i = 0 then node
+                else nth (Mem.read64 mem (node + 8)) (i - 1)
+              in
+              let keep = nth (Mem.read64 mem bucket) (max_chain - 1) in
+              if keep <> 0 then begin
+                let rec free_chain node =
+                  if node <> 0 then begin
+                    Process.Fuel.burn ctx.Program.fuel;
+                    let next = Mem.read64 mem (node + 8) in
+                    a.Allocator.free (Mem.read64 mem (node + 24));
+                    a.Allocator.free node;
+                    bump c_stored (-1);
+                    free_chain next
+                  end
+                in
+                let excess = Mem.read64 mem (keep + 8) in
+                Mem.write64 mem (keep + 8) 0;
+                free_chain excess
+              end
+            end;
+            0
+          | (Some p, None | None, Some p) ->
+            a.Allocator.free p;
+            bump c_failed 1;
+            0
+          | None, None ->
+            bump c_failed 1;
+            0)
+      in
+      (* format the response title — the crash site *)
+      (match a.Allocator.malloc title_size with
+      | Some title ->
+        strcpy title url;
+        a.Allocator.free title
+      | None -> bump c_failed 1);
+      (* fold the request into the running checksum: content-derived
+         (keys, hit history, the threshold-deterministic failure count) —
+         never addresses, so every seed and every rewind agrees *)
+      let c = Mem.read64 mem (counters + c_checksum) in
+      let c' =
+        mix (c lxor ((k * 0x61C88647) + (key * 31) + (node_hits * 7)))
+        + Mem.read64 mem (counters + c_failed)
+      in
+      Mem.write64 mem (counters + c_checksum) (c' land 0x3FFFFFFFFFFF);
+      if (k + 1) mod progress_every = 0 then
+        Process.Out.printf ctx.Program.out "t=%d stored=%d hits=%d\n" (k + 1)
+          (Mem.read64 mem (counters + c_stored))
+          (Mem.read64 mem (counters + c_hits))
+    in
+    let finish () =
+      Process.Out.printf ctx.Program.out
+        "done requests=%d stored=%d hits=%d failed=%d checksum=%d\n" requests
+        (Mem.read64 mem (counters + c_stored))
+        (Mem.read64 mem (counters + c_hits))
+        (Mem.read64 mem (counters + c_failed))
+        (Mem.read64 mem (counters + c_checksum))
+    in
+    { Program.handle; finish }
+  in
+  { Program.requests; init }
+
+let program ?(requests = 4096) ?(attack_every = 0) ?(attack_len = 3000) () =
+  Program.of_service ~name:"server" (service ~requests ~attack_every ~attack_len ())
+
+let heap_size =
+  (* 64 KiB per size-class region: the 64 B title region spans 16 pages,
+     so a 3000-byte overflow runs off the end (and faults on the hole
+     page) from roughly the last 4.5% of slots — attacks usually scribble
+     harmlessly over free title slots, occasionally fault, exactly the
+     probabilistic exposure the rewind rung is for. *)
+  12 * 64 * 1024

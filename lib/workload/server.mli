@@ -1,0 +1,42 @@
+(** squid-server: the long-running Squid-style cache the ROADMAP's
+    "millions of users" scenario needs, in the step-structured
+    {!Dh_alloc.Program.service} shape the supervisor's rewind rung
+    requires.
+
+    The server keeps a hash-chained URL cache entirely in simulated
+    memory — table, nodes, URL copies, counters, even its output
+    checksum — so {!Dh_mem.Mem.rewind} plus {!Diehard.Heap.restore} is a
+    complete resume: there is no OCaml-side state to roll back.  Request
+    [k]'s content is a pure function of [k], so a rewound window replays
+    identically (modulo fresh object placement from the reseed).
+
+    Every request formats a fixed 64-byte title buffer with the unchecked
+    [strcpy] of Squid 2.3s5 (paper §7.3, "Real Faults").  Well-formed
+    URLs fit.  With [attack_every > 0], every [attack_every]-th request
+    carries an [attack_len]-byte URL: the overflow tramples title slots —
+    under DieHard almost always free ones — and, when the victim buffer
+    sits near the end of its size-class region, runs onto the unmapped
+    hole page and faults.  Output (progress lines plus a final
+    content-derived checksum) is independent of heap placement, so it
+    doubles as the determinism fingerprint for rewind-equivalence checks:
+    a run recovered by rewind-and-reseed must print exactly what a
+    never-faulted run prints. *)
+
+val service :
+  requests:int -> ?attack_every:int -> ?attack_len:int -> unit ->
+  Dh_alloc.Program.service
+(** [attack_every] defaults to 0 (no attacks); [attack_len] to 3000
+    bytes — long enough to reach the hole page from the last ~4.5% of
+    title slots under {!heap_size}. *)
+
+val program :
+  ?requests:int -> ?attack_every:int -> ?attack_len:int -> unit ->
+  Dh_alloc.Program.t
+(** {!service} wrapped via {!Dh_alloc.Program.of_service} (4096 requests
+    by default), so plain runs and checkpointed runs execute the same
+    steps. *)
+
+val heap_size : int
+(** A heap sized so the title region spans 16 pages (64 KiB per class):
+    big enough for the cache's live set, small enough that overlong-URL
+    attacks fault at a usefully observable rate. *)

@@ -1,0 +1,307 @@
+(* Tests for copy-on-write checkpoints and rewind-and-discard recovery:
+   simmem dirty tracking and mapping deltas, heap metadata
+   snapshot/restore, and the supervisor's rewind rung end to end. *)
+
+module Mem = Dh_mem.Mem
+module Fault = Dh_mem.Fault
+module Supervisor = Diehard.Supervisor
+module Seed = Dh_rng.Seed
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let page = Mem.page_size
+
+let faults f =
+  match f () with
+  | _ -> false
+  | exception Fault.Error _ -> true
+
+(* --- the undo log itself --- *)
+
+let test_cow_roundtrip () =
+  let mem = Mem.create () in
+  let a = Mem.mmap mem (4 * page) in
+  Mem.fill mem ~addr:a ~len:(4 * page) 'x';
+  let before = Mem.read_bytes mem ~addr:a ~len:(4 * page) in
+  Mem.checkpoint mem;
+  check "armed" true (Mem.checkpointed mem);
+  check_int "clean after arming" 0 (Mem.dirty_pages mem);
+  Mem.fill mem ~addr:(a + page) ~len:page 'y';
+  Mem.write8 mem (a + (3 * page) + 17) 0x5A;
+  check_int "two pages dirty" 2 (Mem.dirty_pages mem);
+  check_int "two pages pre-imaged" 2 (Mem.preimaged_pages mem);
+  let r = Mem.rewind mem in
+  check_int "restored exactly the dirty set" 2 r.Mem.pages_restored;
+  check_int "no mapping deltas" 0 (r.Mem.segments_remapped + r.Mem.segments_discarded);
+  check "contents back" true (Mem.read_bytes mem ~addr:a ~len:(4 * page) = before);
+  check "still armed after rewind" true (Mem.checkpointed mem);
+  check_int "clean again" 0 (Mem.dirty_pages mem)
+
+let test_rewind_spans_munmap () =
+  (* A checkpoint window that unmaps a pre-existing segment and maps a
+     new one: rewind must bring the old segment back (contents intact)
+     and discard the newborn. *)
+  let mem = Mem.create () in
+  let a = Mem.mmap mem (2 * page) in
+  let b = Mem.mmap mem page in
+  Mem.fill mem ~addr:b ~len:page 'B';
+  Mem.checkpoint mem;
+  Mem.write8 mem a 1;
+  Mem.munmap mem b;
+  let c = Mem.mmap mem page in
+  Mem.fill mem ~addr:c ~len:page 'C';
+  check "b gone before rewind" false (Mem.is_mapped mem b);
+  let r = Mem.rewind mem in
+  check_int "old segment re-inserted" 1 r.Mem.segments_remapped;
+  check_int "newborn discarded" 1 r.Mem.segments_discarded;
+  check "b mapped again" true (Mem.is_mapped mem b);
+  check "b contents survived its own unmapping" true
+    (Mem.read_bytes mem ~addr:b ~len:page = String.make page 'B');
+  check "c unmapped" false (Mem.is_mapped mem c);
+  check "a restored" true (Mem.read8 mem a = 0);
+  (* the base allocator rewound too: re-mapping draws the same address *)
+  check_int "next mmap reuses the rewound base" c (Mem.mmap mem page)
+
+let test_rewind_across_protect () =
+  let mem = Mem.create () in
+  let a = Mem.mmap mem (2 * page) in
+  Mem.checkpoint mem;
+  Mem.protect mem ~addr:(a + page) ~len:page Mem.Read_only;
+  check "write faults under the new protection" true (faults (fun () ->
+      Mem.write8 mem (a + page) 1));
+  let r = Mem.rewind mem in
+  check "protection change undone" true (r.Mem.protections_restored >= 1);
+  Mem.write8 mem (a + page) 7;
+  check "writable again" true (Mem.read8 mem (a + page) = 7);
+  (* and the mirror image: a protection set before the checkpoint is
+     what rewind restores to, not Read_write *)
+  Mem.protect mem ~addr:a ~len:page Mem.Read_only;
+  Mem.checkpoint mem;
+  Mem.protect mem ~addr:a ~len:page Mem.Read_write;
+  Mem.write8 mem a 9;
+  ignore (Mem.rewind mem);
+  check "pre-checkpoint Read_only is back" true (faults (fun () -> Mem.write8 mem a 1))
+
+let test_fault_at_page_edges () =
+  (* Dirty the first and last byte of a segment's final page, then fault
+     a bulk write straddling the segment end: exact-fault semantics mean
+     nothing tears, and rewind restores the page bit-for-bit. *)
+  let mem = Mem.create () in
+  let a = Mem.mmap mem page in
+  Mem.fill mem ~addr:a ~len:page 'x';
+  let before = Mem.read_bytes mem ~addr:a ~len:page in
+  Mem.checkpoint mem;
+  Mem.write8 mem a 0x41;
+  Mem.write8 mem (a + page - 1) 0x42;
+  check_int "first and last byte share one dirty page" 1 (Mem.dirty_pages mem);
+  (match Mem.write_bytes mem ~addr:(a + page - 5) "0123456789" with
+  | () -> Alcotest.fail "straddling write did not fault"
+  | exception Fault.Error (Fault.Unmapped { addr; _ }) ->
+    check_int "fault names the first unmapped byte" (a + page) addr
+  | exception Fault.Error f -> Alcotest.failf "wrong fault: %s" (Fault.to_string f));
+  check "no tearing: in-range prefix untouched" true
+    (Mem.read_bytes mem ~addr:(a + page - 5) ~len:5 = String.sub before (page - 5) 4 ^ "\x42");
+  let r = Mem.rewind mem in
+  check_int "one page restored" 1 r.Mem.pages_restored;
+  check "page bit-for-bit back" true (Mem.read_bytes mem ~addr:a ~len:page = before)
+
+let test_double_rewind () =
+  (* The checkpoint survives its own rewind: fault, rewind, fault again,
+     rewind again — both land on the same state. *)
+  let mem = Mem.create () in
+  let a = Mem.mmap mem (2 * page) in
+  Mem.fill mem ~addr:a ~len:(2 * page) 'o';
+  let before = Mem.read_bytes mem ~addr:a ~len:(2 * page) in
+  Mem.checkpoint mem;
+  Mem.fill mem ~addr:a ~len:(2 * page) '1';
+  ignore (Mem.rewind mem);
+  Mem.fill mem ~addr:a ~len:page '2';
+  let b = Mem.mmap mem page in
+  let r = Mem.rewind mem in
+  check_int "second rewind restores the second window's dirt" 1 r.Mem.pages_restored;
+  check "second window's mapping undone" false (Mem.is_mapped mem b);
+  check "same state both times" true (Mem.read_bytes mem ~addr:a ~len:(2 * page) = before)
+
+let test_discard_stops_preimaging () =
+  let mem = Mem.create () in
+  let a = Mem.mmap mem page in
+  Mem.checkpoint mem;
+  Mem.write8 mem a 1;
+  check_int "armed write pre-images" 1 (Mem.preimaged_pages mem);
+  Mem.discard_checkpoint mem;
+  check "disarmed" false (Mem.checkpointed mem);
+  Mem.write8 mem a 2;
+  check_int "disarmed writes do not" 1 (Mem.preimaged_pages mem);
+  check "dirty still tracked" true (Mem.dirty_pages mem >= 1)
+
+(* --- QCheck equivalence: checkpoint -> mutate -> rewind = identity --- *)
+
+type op =
+  | Write8 of int * int
+  | Write64 of int * int
+  | Fill of int * int * char
+  | Remap  (* munmap the scratch segment and map a fresh one *)
+
+let gen_ops len =
+  QCheck.Gen.(
+    list_size (int_range 0 40)
+      (frequency
+         [
+           (4, map2 (fun o v -> Write8 (o, v land 0xFF)) (int_bound (len - 1)) int);
+           (2, map2 (fun o v -> Write64 (o, v)) (int_bound (len - 9)) int);
+           ( 3,
+             map3
+               (fun o l c -> Fill (o, min l (len - o), Char.chr (c land 0xFF)))
+               (int_bound (len - 1)) (int_bound len) int );
+           (1, return Remap);
+         ]))
+
+let prop_rewind_is_identity =
+  let len = 4 * page in
+  QCheck.Test.make ~name:"checkpoint -> mutate -> rewind = identity" ~count:200
+    (QCheck.make (gen_ops len))
+    (fun ops ->
+      let mem = Mem.create () in
+      let a = Mem.mmap mem len in
+      let scratch = ref (Mem.mmap mem page) in
+      Mem.fill_random mem ~addr:a ~len (Dh_rng.Mwc.create ~seed:11);
+      let before = Mem.read_bytes mem ~addr:a ~len in
+      let scratch_before = !scratch in
+      Mem.checkpoint mem;
+      List.iter
+        (function
+          | Write8 (o, v) -> Mem.write8 mem (a + o) v
+          | Write64 (o, v) -> Mem.write64 mem (a + o) v
+          | Fill (o, l, c) -> if l > 0 then Mem.fill mem ~addr:(a + o) ~len:l c
+          | Remap ->
+            Mem.munmap mem !scratch;
+            scratch := Mem.mmap mem page;
+            Mem.write8 mem !scratch 1)
+        ops;
+      ignore (Mem.rewind mem);
+      Mem.read_bytes mem ~addr:a ~len = before
+      && Mem.is_mapped mem scratch_before
+      && Mem.dirty_pages mem = 0)
+
+(* --- heap metadata snapshot/restore in lockstep with Mem.rewind --- *)
+
+let test_heap_restore_matches_untouched_twin () =
+  (* Rewind + restore must leave the heap indistinguishable from one that
+     never ran the discarded window: a twin heap with the same seed that
+     skips the window must hand out identical addresses afterwards. *)
+  let sizes1 = [ 16; 64; 200; 16; 1024 ] and sizes2 = [ 32; 32; 500; 8 ] in
+  let build () =
+    let mem = Mem.create () in
+    let heap =
+      Diehard.Heap.create ~config:(Diehard.Config.v ~seed:42 ()) mem
+    in
+    (mem, heap, List.map (Diehard.Heap.malloc heap) sizes1)
+  in
+  let mem, heap, first = build () in
+  Mem.checkpoint mem;
+  let snap = Diehard.Heap.snapshot heap in
+  (* the discarded window: allocate, free some of the originals, scribble *)
+  List.iter
+    (fun p -> match Diehard.Heap.malloc heap p with _ -> ())
+    [ 64; 64; 2048 ];
+  List.iter (function Some p -> Diehard.Heap.free heap p | None -> ()) first;
+  ignore (Mem.rewind mem);
+  Diehard.Heap.restore heap snap;
+  let twin_mem, twin_heap, twin_first = build () in
+  ignore twin_mem;
+  Alcotest.(check (list (option int)))
+    "pre-window allocations agree" twin_first first;
+  let after = List.map (Diehard.Heap.malloc heap) sizes2 in
+  let twin_after = List.map (Diehard.Heap.malloc twin_heap) sizes2 in
+  Alcotest.(check (list (option int)))
+    "post-restore allocations match the never-diverged twin" twin_after after
+
+(* --- the supervisor's rewind rung, end to end --- *)
+
+let server_policy ~interval =
+  {
+    Supervisor.default_policy with
+    max_retries = 8;
+    rescue = false;
+    diagnose = false;
+    fuel = 10_000_000;
+    checkpoint_interval = interval;
+    max_rewinds = (if interval > 0 then 100_000 else 0);
+  }
+
+let run_server ~interval ~attack_every =
+  Supervisor.run
+    ~policy:(server_policy ~interval)
+    ~config:
+      (Diehard.Config.v ~heap_size:Dh_workload.Server.heap_size ~seed:3 ())
+    ~seed_pool:(Seed.create ~master:3)
+    (Dh_workload.Server.program ~requests:1024 ~attack_every ())
+
+let recovery_totals i =
+  List.fold_left
+    (fun (ck, rw, pg) (a : Supervisor.attempt_report) ->
+      match a.Supervisor.recovery with
+      | Some r ->
+        ( ck + r.Supervisor.checkpoints,
+          rw + r.Supervisor.rewinds,
+          pg + r.Supervisor.pages_restored )
+      | None -> (ck, rw, pg))
+    (0, 0, 0) i.Supervisor.attempts
+
+let test_rewind_rung_survives_attacks () =
+  let i = run_server ~interval:32 ~attack_every:8 in
+  check "survived" true (i.Supervisor.verdict = Supervisor.Survived 0);
+  let ck, rw, pg = recovery_totals i in
+  check "checkpoints armed" true (ck > 0);
+  check "faults survived by rewind" true (rw > 0);
+  check "rewind restored only dirtied pages" true
+    (pg > 0 && pg < rw * (Dh_workload.Server.heap_size / page));
+  check "recovery shows in the report" true
+    (let s = Format.asprintf "%a" Supervisor.pp_incident i in
+     let rec has sub j =
+       j + String.length sub <= String.length s
+       && (String.sub s j (String.length sub) = sub || has sub (j + 1))
+     in
+     has "rewinds" 0)
+
+let test_rewound_fingerprint_matches_scratch () =
+  (* The acceptance bar: a run recovered by rewind-and-reseed prints
+     exactly what the classic restart-from-scratch ladder prints. *)
+  let rewound = run_server ~interval:32 ~attack_every:8 in
+  let scratch = run_server ~interval:0 ~attack_every:8 in
+  check "rewound leg survived" true
+    (match rewound.Supervisor.verdict with Supervisor.Survived _ -> true | _ -> false);
+  check "scratch leg survived" true
+    (match scratch.Supervisor.verdict with Supervisor.Survived _ -> true | _ -> false);
+  Alcotest.(check (option string))
+    "identical output" scratch.Supervisor.output rewound.Supervisor.output
+
+let test_clean_run_unaffected_by_checkpointing () =
+  let plain = run_server ~interval:0 ~attack_every:0 in
+  let ckpt = run_server ~interval:32 ~attack_every:0 in
+  let _, rw, _ = recovery_totals ckpt in
+  check_int "no faults, no rewinds" 0 rw;
+  Alcotest.(check (option string))
+    "identical output" plain.Supervisor.output ckpt.Supervisor.output;
+  check "both clean" true
+    (plain.Supervisor.verdict = Supervisor.Survived 0
+    && ckpt.Supervisor.verdict = Supervisor.Survived 0)
+
+let suite =
+  [
+    Alcotest.test_case "cow round trip" `Quick test_cow_roundtrip;
+    Alcotest.test_case "rewind spans munmap" `Quick test_rewind_spans_munmap;
+    Alcotest.test_case "rewind across protect" `Quick test_rewind_across_protect;
+    Alcotest.test_case "fault at page edges" `Quick test_fault_at_page_edges;
+    Alcotest.test_case "double rewind" `Quick test_double_rewind;
+    Alcotest.test_case "discard stops pre-imaging" `Quick test_discard_stops_preimaging;
+    QCheck_alcotest.to_alcotest prop_rewind_is_identity;
+    Alcotest.test_case "heap restore = untouched twin" `Quick
+      test_heap_restore_matches_untouched_twin;
+    Alcotest.test_case "rewind rung survives attacks" `Quick
+      test_rewind_rung_survives_attacks;
+    Alcotest.test_case "rewound fingerprint = scratch" `Quick
+      test_rewound_fingerprint_matches_scratch;
+    Alcotest.test_case "clean run unaffected" `Quick
+      test_clean_run_unaffected_by_checkpointing;
+  ]

@@ -20,6 +20,7 @@ let () =
       ("rescue", Test_rescue.suite);
       ("canary", Test_canary.suite);
       ("supervisor", Test_supervisor.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("workload", Test_workload.suite);
       ("extensions", Test_extensions.suite);
       ("adaptive", Test_adaptive.suite);

@@ -19,8 +19,17 @@ let doomed =
   Dh_lang.Interp.program_of_source ~name:"doomed"
     {|fn main() { var p = 0; p[0] = 1; }|}
 
-let policy ?(max_retries = 2) ?(backoff = 2) ?(rescue = true) ?(diagnose = true) () =
-  { Supervisor.max_retries; backoff; rescue; diagnose; fuel = 1_000_000 }
+let policy ?(max_retries = 2) ?(backoff = 2) ?(rescue = true) ?(diagnose = true)
+    ?(checkpoint_interval = 0) ?(max_rewinds = 8) () =
+  {
+    Supervisor.max_retries;
+    backoff;
+    rescue;
+    diagnose;
+    fuel = 1_000_000;
+    checkpoint_interval;
+    max_rewinds;
+  }
 
 let run ?policy:(p = policy ()) ?wrap ?success program =
   Supervisor.run ~policy:p ~seed_pool:(Seed.create ~master:7) ?wrap ?success program
