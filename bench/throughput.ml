@@ -80,6 +80,22 @@ let () =
     prerr_endline "parallel/sequential divergence in scaling bench";
     exit 1
   end;
+  (* The scaling gate: on a multi-core machine, jobs=2 must beat jobs=1
+     in wall-clock for every swept workload.  Single-core runners cannot
+     show speedup, so the gate is skipped there — loudly, so nobody
+     mistakes the skip for a pass. *)
+  (match Dh_bench.Throughput.scaling_gate report with
+  | `Pass ->
+    Printf.printf "scaling gate: speedup > 1.0 at jobs=2 on %d cores\n"
+      report.Dh_bench.Throughput.cores
+  | `Skipped_single_core ->
+    Printf.eprintf
+      "warning: single-core runner (cores=%d): parallel speedup gate \
+       skipped\n"
+      report.Dh_bench.Throughput.cores
+  | `Fail msg ->
+    prerr_endline ("scaling gate: " ^ msg);
+    exit 1);
   (* The rewind rung's contract: recovering by rewinding dirty pages must
      beat restarting the whole run, and must not change what the program
      prints.  Both are checked on every bench run, baseline or not. *)

@@ -443,10 +443,24 @@ let bench_cmd =
       Dh_bench.Throughput.write_json ~path report;
       Printf.printf "wrote %s\n" path
     | None -> ());
+    let scaling_ok =
+      match Dh_bench.Throughput.scaling_gate report with
+      | `Pass -> true
+      | `Skipped_single_core ->
+        Printf.eprintf
+          "warning: single-core runner (cores=%d): parallel speedup gate \
+           skipped\n"
+          report.Dh_bench.Throughput.cores;
+        true
+      | `Fail msg ->
+        Printf.eprintf "scaling gate: %s\n" msg;
+        false
+    in
     exit
       (if report.Dh_bench.Throughput.fill.Dh_bench.Throughput.semantics_match
           && report.Dh_bench.Throughput.copy.Dh_bench.Throughput.semantics_match
           && Dh_bench.Throughput.deterministic report
+          && scaling_ok
        then 0
        else 1)
   in

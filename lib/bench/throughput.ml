@@ -50,6 +50,13 @@ type checkpoint_bench = {
 
 type report = {
   quick : bool;
+  cores : int;
+      (* Domain.recommended_domain_count on the recording machine: the
+         scaling points can only be judged against this.  A single-core
+         runner CANNOT show parallel speedup — its sweep records the
+         cost of domain coordination, not the engine's scaling — which
+         is how the old committed baseline came to encode negative
+         scaling as normal. *)
   alloc : rate list;
   fill : comparison;
   copy : comparison;
@@ -509,6 +516,13 @@ let scaling_bench ~sname ~units ~max_jobs ~run_with ~fingerprint =
   let points =
     List.map
       (fun jobs ->
+        (* Each point starts from a quiesced pool: workers parked by an
+           earlier width are stop-the-world participants, so leaving them
+           around would tax the jobs=1 leg's every minor collection and
+           corrupt the speedup baseline.  The parallel legs respawn
+           inside the timed window — the one-time spawn is part of what
+           that width honestly costs. *)
+        Dh_parallel.Pool.quiesce ();
         let result = ref None in
         let seconds = time (fun () -> result := Some (run_with ~jobs)) in
         let fp = fingerprint (Option.get !result) in
@@ -605,14 +619,53 @@ let run ?(quick = false) ?(max_jobs = 8) () =
   let scaling =
     [ replicated_scaling ~quick ~max_jobs; campaign_scaling ~quick ~max_jobs ]
   in
+  (* Everything after the scaling sweep is sequential; retire the parked
+     workers so the remaining stages (and their timings) do not pay the
+     idle domains' stop-the-world barrier on every minor collection. *)
+  Dh_parallel.Pool.quiesce ();
   (* the checkpoint stage's server runs are heap-churn-heavy, so it
      belongs with the flooders, before the low-volume span stages *)
   let checkpoint = checkpoint_bench ~quick in
   let gc_mark = gc_mark_bench ~quick in
   let supervisor = supervisor_bench ~quick in
-  { quick; alloc; fill; copy; gc_mark; bitmap_sweep; supervisor; checkpoint; obs; scaling }
+  {
+    quick;
+    cores = Dh_parallel.Pool.default_jobs ();
+    alloc;
+    fill;
+    copy;
+    gc_mark;
+    bitmap_sweep;
+    supervisor;
+    checkpoint;
+    obs;
+    scaling;
+  }
 
 let deterministic r = List.for_all (fun s -> s.deterministic) r.scaling
+
+(* The scaling gate: with >= 2 cores, `--jobs 2` must beat `--jobs 1` in
+   wall-clock (speedup > 1.0) for every swept workload — the engine's
+   whole point.  On a single core there is no parallelism to measure, so
+   the gate is skipped (with a warning at the call sites) rather than
+   encoding coordination overhead as an expected regression. *)
+let scaling_gate r =
+  if r.cores < 2 then `Skipped_single_core
+  else
+    let failures =
+      List.filter_map
+        (fun s ->
+          match List.find_opt (fun p -> p.sp_jobs = 2) s.points with
+          | Some p when p.sp_speedup <= 1.0 ->
+            Some
+              (Printf.sprintf "%s: %.2fx speedup at jobs=2 on %d cores"
+                 s.sname p.sp_speedup r.cores)
+          | Some _ | None -> None)
+        r.scaling
+    in
+    match failures with
+    | [] -> `Pass
+    | fs -> `Fail (String.concat "; " fs)
 
 (* --- output --- *)
 
@@ -645,7 +698,8 @@ let json_scaling b s =
 
 let to_json r =
   let b = Buffer.create 1024 in
-  Printf.bprintf b "{\"bench\":\"throughput\",\"quick\":%b,\"alloc\":[" r.quick;
+  Printf.bprintf b "{\"bench\":\"throughput\",\"quick\":%b,\"cores\":%d,\"alloc\":["
+    r.quick r.cores;
   List.iteri
     (fun i rate ->
       if i > 0 then Buffer.add_char b ',';
@@ -764,7 +818,10 @@ let check_baseline ?(tolerance = 0.05) ~path r =
       | _ -> Error (Printf.sprintf "baseline %s: missing quick/alloc fields" path)))
 
 let print r =
-  Printf.printf "throughput (%s)\n" (if r.quick then "quick" else "full");
+  Printf.printf "throughput (%s, %d core%s)\n"
+    (if r.quick then "quick" else "full")
+    r.cores
+    (if r.cores = 1 then "" else "s");
   List.iter
     (fun rate ->
       Printf.printf "  alloc %-14s %10.0f ops/s\n" rate.name (ops_per_sec rate))

@@ -102,6 +102,11 @@ type checkpoint_bench = {
 
 type report = {
   quick : bool;
+  cores : int;
+      (** [Domain.recommended_domain_count] on the machine that recorded
+          the report.  Consumers (and {!scaling_gate}) must read the
+          scaling sweep against this: a single-core runner cannot show
+          parallel speedup, only domain-coordination overhead. *)
   alloc : rate list;
   fill : comparison;
   copy : comparison;
@@ -128,6 +133,14 @@ val run : ?quick:bool -> ?max_jobs:int -> unit -> report
 val deterministic : report -> bool
 (** All scaling benches reproduced sequential results under parallelism —
     the bit CI's bench-smoke job gates on. *)
+
+val scaling_gate : report -> [ `Pass | `Skipped_single_core | `Fail of string ]
+(** The hard scaling gate: on a machine with at least two cores, every
+    scaling sweep must show wall-clock speedup strictly above 1.0 at
+    [jobs = 2] — parallelism has to pay for itself, or the worker pool
+    has regressed into coordination overhead.  On a single-core runner
+    the gate reports [`Skipped_single_core]: callers should warn and
+    carry on, never encode the inevitable slowdown as acceptable. *)
 
 val ops_per_sec : rate -> float
 

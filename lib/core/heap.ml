@@ -18,6 +18,15 @@ type large_object = { payload : int; size : int; map_base : int; map_len : int }
 
 module Imap = Map.Make (Int)
 
+(* Metric handles resolved once per heap (lazily, so heaps built before
+   telemetry is switched on still pick them up): interning an instrument
+   takes the registry mutex, which is far too heavy for the per-malloc
+   path and serializes concurrent heaps. *)
+type obs_instruments = {
+  malloc_probes : Dh_obs.Metrics.histogram;
+  malloc_bytes : Dh_obs.Metrics.histogram;
+}
+
 type t = {
   config : Config.t;
   mem : Mem.t;
@@ -25,6 +34,7 @@ type t = {
   regions : region array;
   mutable large : large_object Imap.t;  (* keyed by payload base *)
   stats : Stats.t;
+  mutable obs : obs_instruments option;
 }
 
 (* The flight recorder asks for this at fault time: live slots per size
@@ -66,6 +76,7 @@ let create ?(config = Config.default) mem =
       regions;
       large = Imap.empty;
       stats = Stats.create ();
+      obs = None;
     }
   in
   if Dh_obs.Control.enabled () then begin
@@ -73,6 +84,27 @@ let create ?(config = Config.default) mem =
     Dh_obs.Recorder.register_context "heap.occupancy" (occupancy_summary t)
   end;
   t
+
+let obs_instruments t =
+  match t.obs with
+  | Some o -> o
+  | None ->
+    let reg = Dh_obs.Metrics.default in
+    let o =
+      {
+        malloc_probes = Dh_obs.Metrics.histogram reg "heap.malloc.probes";
+        malloc_bytes = Dh_obs.Metrics.histogram reg "heap.malloc.bytes";
+      }
+    in
+    t.obs <- Some o;
+    o
+
+(* Hot-path trace instants are sampled 1-in-64 (per heap, off the heap's
+   own malloc/free counters, so sampling is deterministic and the first
+   event of a run is always traced).  Metrics stay exact — sampling only
+   thins the per-event span stream, which exists to show shape, not
+   totals. *)
+let trace_sample = 64
 
 let config t = t.config
 let stats t = t.stats
@@ -157,9 +189,7 @@ let malloc_large t sz =
   t.large <- Imap.add payload { payload; size = body; map_base; map_len } t.large;
   Stats.on_malloc t.stats ~requested:sz ~reserved:body;
   if Dh_obs.Control.enabled () then begin
-    Dh_obs.Metrics.observe
-      (Dh_obs.Metrics.histogram Dh_obs.Metrics.default "heap.malloc.bytes")
-      sz;
+    Dh_obs.Metrics.observe (obs_instruments t).malloc_bytes sz;
     Dh_obs.Tracing.instant ~arg:(string_of_int sz) "heap.malloc.large"
   end;
   Some payload
@@ -182,15 +212,16 @@ let large_containing t addr =
 (* --- small objects: randomized bitmap allocation (Figure 2) --- *)
 
 (* Telemetry for the small-object path: probe-count and request-size
-   distributions (§4.2's expected-probes analysis, observed live).  The
-   instruments are looked up by name per call, but only while enabled —
-   the disabled path is the one branch here. *)
-let observe_malloc ~probes ~bytes =
+   distributions (§4.2's expected-probes analysis, observed live),
+   recorded through the heap's cached instrument handles, plus a
+   sampled "heap.malloc" instant. *)
+let observe_malloc t ~probes ~bytes =
   if Dh_obs.Control.enabled () then begin
-    let reg = Dh_obs.Metrics.default in
-    Dh_obs.Metrics.observe (Dh_obs.Metrics.histogram reg "heap.malloc.probes") probes;
-    Dh_obs.Metrics.observe (Dh_obs.Metrics.histogram reg "heap.malloc.bytes") bytes;
-    Dh_obs.Tracing.instant ~arg:(string_of_int bytes) "heap.malloc"
+    let o = obs_instruments t in
+    Dh_obs.Metrics.observe o.malloc_probes probes;
+    Dh_obs.Metrics.observe o.malloc_bytes bytes;
+    if (t.stats.Stats.mallocs - 1) mod trace_sample = 0 then
+      Dh_obs.Tracing.instant ~arg:(string_of_int bytes) "heap.malloc"
   end
 
 let malloc_small t sz class_ =
@@ -219,7 +250,7 @@ let malloc_small t sz class_ =
     let addr = region.base + (index * size) in
     if t.config.Config.replicated then Mem.fill_random t.mem ~addr ~len:size t.rng;
     Stats.on_malloc t.stats ~requested:sz ~reserved:size;
-    observe_malloc ~probes ~bytes:sz;
+    observe_malloc t ~probes ~bytes:sz;
     Some addr
   end
 
@@ -262,8 +293,10 @@ let free t addr =
           Bitmap.clear region.bitmap index;
           region.in_use <- region.in_use - 1;
           Stats.on_free t.stats ~reserved:size;
-          if Dh_obs.Control.enabled () then
-            Dh_obs.Tracing.instant ~arg:(string_of_int size) "heap.free"
+          if
+            Dh_obs.Control.enabled ()
+            && (t.stats.Stats.frees - 1) mod trace_sample = 0
+          then Dh_obs.Tracing.instant ~arg:(string_of_int size) "heap.free"
         end
         else t.stats.Stats.ignored_frees <- t.stats.Stats.ignored_frees + 1
       end

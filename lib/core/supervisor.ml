@@ -289,16 +289,17 @@ let run ?(policy = default_policy) ?(config = Config.default)
        remaining rungs (it shares no state with them); sequentially it is
        deferred to the end as before.  The incident is identical either
        way. *)
-    if attempt = 0 && (not report.ok) && policy.diagnose then begin
-      let replay () = diagnose_replay plan report in
+    if attempt = 0 && (not report.ok) && policy.diagnose then
+      (* With jobs > 1 the replay runs on a borrowed long-lived pool
+         worker, overlapped with the remaining rungs (it shares no state
+         with them); at jobs = 1 the join runs it inline at the end, as
+         the sequential code always did.  The incident is identical
+         either way. *)
       diag_job :=
         Some
-          (if config.Config.jobs > 1 then begin
-             let d = Domain.spawn replay in
-             fun () -> Domain.join d
-           end
-           else replay)
-    end;
+          (Dh_parallel.Pool.background
+             ~pool:(Dh_parallel.Pool.create ~jobs:config.Config.jobs ())
+             (fun () -> diagnose_replay plan report));
     let acc = report :: acc in
     if report.ok then (List.rev acc, Survived attempt, Some result.Process.output)
     else if mode = Rescue || ((not policy.rescue) && attempt >= policy.max_retries)

@@ -1,16 +1,38 @@
-let shard_count = 16 (* power of two: shard index is domain id land 15 *)
 let bucket_count = 64
 
-let shard () = (Domain.self () :> int) land (shard_count - 1)
+(* --- per-domain buffered shards ---
 
-type counter = int Atomic.t array
+   Recording must never serialize concurrent domains: the old design
+   sharded counters across a fixed array of atomics indexed by domain id
+   mod 16, which still cost an atomic RMW per record and false-shared
+   adjacent cells.  Instead, every instrument hands each recording
+   domain its own private cell, reached through a domain-local memo
+   (id -> cell) so the hot path is: one enabled check, one DLS read, one
+   int-keyed hash lookup, one plain in-place add.  No mutex, no atomic,
+   no sharing.
+
+   Cells are plain mutable ints written only by their owning domain.
+   Cross-domain reads (merge-on-read) are non-atomic but untorn (OCaml
+   immediates), and exact whenever the writer has parked or been joined
+   — which is when dumps happen.  The instrument keeps every cell it
+   ever handed out on a mutex-guarded list; the mutex is touched once
+   per (domain, instrument) pair at first record, never again. *)
+
+type 'cell sharded = {
+  id : int;  (* key in the per-domain memo *)
+  cells_lock : Mutex.t;
+  mutable cells : 'cell list;  (* one per domain that ever recorded *)
+}
+
+let next_id = Atomic.make 0
+
+type counter_cell = { mutable count : int }
+type counter = counter_cell sharded
+
+type histogram_cell = { buckets : int array; mutable sum : int }
+type histogram = histogram_cell sharded
 
 type gauge = Cell of int Atomic.t | Callback of (unit -> int)
-
-type histogram = {
-  counts : int Atomic.t array array;  (* [shard].(bucket) *)
-  sums : int Atomic.t array;  (* [shard] *)
-}
 
 type instrument = Counter of counter | Gauge of gauge | Histogram of histogram
 
@@ -26,7 +48,8 @@ let kind_name = function
   | Histogram _ -> "histogram"
 
 (* Get-or-create under the registry lock.  Only instrument creation and
-   dumping take the lock; recording goes straight to the shards. *)
+   dumping take the lock; recording goes straight to the domain-local
+   cells. *)
 let intern t name make select =
   Mutex.protect t.lock (fun () ->
       match Hashtbl.find_opt t.items name with
@@ -42,16 +65,44 @@ let intern t name make select =
         Hashtbl.replace t.items name fresh;
         match select fresh with Some v -> v | None -> assert false)
 
-let atomic_array n = Array.init n (fun _ -> Atomic.make 0)
+let fresh_sharded () =
+  { id = Atomic.fetch_and_add next_id 1; cells_lock = Mutex.create (); cells = [] }
+
+(* One memo per cell type (the DLS tables are monomorphic).  Entries for
+   instruments dropped by [reset] linger harmlessly: ids are never
+   reused, so they can no longer be reached. *)
+let counter_memo : (int, counter_cell) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let histogram_memo : (int, histogram_cell) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let local_cell memo_key sh make =
+  let memo = Domain.DLS.get memo_key in
+  match Hashtbl.find_opt memo sh.id with
+  | Some cell -> cell
+  | None ->
+    let cell = make () in
+    Mutex.protect sh.cells_lock (fun () -> sh.cells <- cell :: sh.cells);
+    Hashtbl.add memo sh.id cell;
+    cell
 
 let counter t name =
   intern t name
-    (fun () -> Counter (atomic_array shard_count))
+    (fun () -> Counter (fresh_sharded ()))
     (function Counter c -> Some c | _ -> None)
 
-let add c n = if Control.enabled () then ignore (Atomic.fetch_and_add c.(shard ()) n)
+let add c n =
+  if Control.enabled () then begin
+    let cell = local_cell counter_memo c (fun () -> { count = 0 }) in
+    cell.count <- cell.count + n
+  end
+
 let incr c = add c 1
-let counter_value c = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c
+
+let counter_value c =
+  Mutex.protect c.cells_lock (fun () ->
+      List.fold_left (fun acc cell -> acc + cell.count) 0 c.cells)
 
 let gauge t name =
   intern t name
@@ -74,12 +125,7 @@ let gauge_fn t name f =
 
 let histogram t name =
   intern t name
-    (fun () ->
-      Histogram
-        {
-          counts = Array.init shard_count (fun _ -> atomic_array bucket_count);
-          sums = atomic_array shard_count;
-        })
+    (fun () -> Histogram (fresh_sharded ()))
     (function Histogram h -> Some h | _ -> None)
 
 let bucket_of v =
@@ -91,19 +137,28 @@ let bucket_of v =
 let observe h v =
   if Control.enabled () then begin
     let bucket = bucket_of v in
-    let s = shard () in
-    ignore (Atomic.fetch_and_add h.counts.(s).(bucket) 1);
-    ignore (Atomic.fetch_and_add h.sums.(s) v)
+    let cell =
+      local_cell histogram_memo h (fun () ->
+          { buckets = Array.make bucket_count 0; sum = 0 })
+    in
+    cell.buckets.(bucket) <- cell.buckets.(bucket) + 1;
+    cell.sum <- cell.sum + v
   end
 
-let histogram_sum h = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 h.sums
+let histogram_cells h = Mutex.protect h.cells_lock (fun () -> h.cells)
+
+let histogram_sum h =
+  List.fold_left (fun acc cell -> acc + cell.sum) 0 (histogram_cells h)
 
 let histogram_buckets h =
+  let cells = histogram_cells h in
   Array.init bucket_count (fun b ->
-      Array.fold_left (fun acc shard -> acc + Atomic.get shard.(b)) 0 h.counts)
+      List.fold_left (fun acc cell -> acc + cell.buckets.(b)) 0 cells)
 
 let histogram_total h =
-  Array.fold_left ( + ) 0 (histogram_buckets h)
+  List.fold_left
+    (fun acc cell -> acc + Array.fold_left ( + ) 0 cell.buckets)
+    0 (histogram_cells h)
 
 type row = { name : string; kind : string; value : int; detail : string }
 

@@ -1,12 +1,20 @@
 (** Metrics registry: named counters, gauges and log2-bucketed
     histograms.
 
-    Counters and histograms are sharded: each recording domain writes to
-    the shard indexed by its domain id, and shards are merged only when a
-    value is read.  Two domains contend on a shard only if their ids
-    collide modulo {!shard_count}, so the pool's hot paths never
-    serialize on a metric.  All recording is a no-op while
-    {!Control.enabled} is false.
+    Counters and histograms are buffered per domain: the first time a
+    domain records into an instrument it is handed a private cell
+    (reached through domain-local storage), and every subsequent record
+    is a plain in-place add — no mutex, no atomic, no cache line shared
+    with any other domain.  Cells are merged only when a value is read
+    ([counter_value], [histogram_*], {!dump}); reads taken while another
+    domain is mid-burst may lag by that domain's unmerged buffer, and
+    are exact once writers have parked or been joined (the pool parks
+    its workers between fan-outs, so post-fan-out dumps are exact).
+    All recording is a no-op while {!Control.enabled} is false.
+
+    Instrument {e lookup} by name ({!counter}, {!histogram}) still takes
+    the registry mutex — resolve instruments once, outside hot loops,
+    and keep the handle.
 
     Instruments are get-or-create by name: creating ["heap.malloc.bytes"]
     twice returns the same histogram, so short-lived components (one heap
@@ -23,8 +31,6 @@ val default : t
 (** The process-wide registry; everything in the repository publishes
     here unless told otherwise. *)
 
-val shard_count : int
-
 (** {1 Counters} *)
 
 type counter
@@ -35,7 +41,7 @@ val counter : t -> string -> counter
 
 val add : counter -> int -> unit
 val incr : counter -> unit
-val counter_value : counter -> int  (** Sum over shards. *)
+val counter_value : counter -> int  (** Sum over per-domain cells. *)
 
 (** {1 Gauges} *)
 
@@ -73,7 +79,7 @@ val histogram_total : histogram -> int
 (** Number of samples. *)
 
 val histogram_buckets : histogram -> int array
-(** Merged shards. *)
+(** Merged per-domain cells. *)
 
 (** {1 Reading} *)
 

@@ -1,4 +1,5 @@
-(** A fixed-width domain pool for embarrassingly parallel fan-out.
+(** A fixed-width view onto a process-wide, long-lived worker-domain
+    pool, for embarrassingly parallel fan-out.
 
     The paper's replicated runtime runs its k replicas as concurrent
     processes and reports that on idle cores a 16-way run costs about
@@ -6,6 +7,16 @@
     reproduction — a replica, an injected trial, a Monte-Carlo sample —
     owns a private {!Dh_mem.Mem.t} address space and a per-heap RNG, so
     runs share no mutable state and map directly onto OCaml 5 domains.
+
+    {b Worker reuse}: domains are spawned at most once per process and
+    parked on a condition variable between fan-outs.  [map]/[map_array]
+    borrow up to [jobs - 1] idle workers, submit one chunk-claiming
+    batch closure to each, participate from the calling domain, and
+    return the workers to the shared pool when the batch drains.  Two
+    successive calls reuse the same domains ({!spawned_domains} is how
+    tests pin this down); the old spawn-per-call design paid a domain
+    spawn/join per fan-out, which is where `--jobs n` used to lose to
+    `--jobs 1`.
 
     The pool is deliberately work-stealing-free: items are claimed in
     chunks off a shared cursor.  Tasks here are coarse (whole program
@@ -15,19 +26,24 @@
     item order and [f] receives exactly the same arguments regardless of
     [jobs] — any seed material must be assigned {e before} the fan-out
     (see {!Seed_plan} and {!Dh_rng.Seed.split}).  Given a pure [f], the
-    result is byte-identical for every [jobs] setting.
+    result is byte-identical for every [jobs] setting, and also when a
+    nested fan-out finds every worker busy and runs with fewer helpers.
 
     {b Safety contract}: [f] must not touch mutable state shared with
     other items (each call should build its own [Mem.t], heap, and
-    RNGs — the natural shape of every run in this codebase). *)
+    RNGs — the natural shape of every run in this codebase).
+    Per-domain state (DLS caches, metric buffers) is fine: workers are
+    long-lived, so domain-local caches stay warm across fan-outs. *)
 
 type t
 
 val create : ?jobs:int -> unit -> t
-(** [create ~jobs ()] builds a pool that runs at most [jobs] items
+(** [create ~jobs ()] builds a pool view that runs at most [jobs] items
     concurrently.  Default: [Domain.recommended_domain_count ()].
-    [jobs = 1] selects the exact sequential path (no domains are ever
-    spawned).  Raises [Invalid_argument] if [jobs < 1]. *)
+    [jobs = 1] selects the exact sequential path (no workers are ever
+    borrowed).  Raises [Invalid_argument] if [jobs < 1].  Creating a
+    pool is free: worker domains are spawned lazily, on first use,
+    and shared by every pool in the process. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the pool's default width. *)
@@ -49,3 +65,32 @@ val map_array : pool:t -> ('a -> 'b) -> 'a array -> 'b array
 
 val init : pool:t -> int -> (int -> 'a) -> 'a array
 (** [init ~pool n f] is [map_array ~pool f [|0; ...; n-1|]]. *)
+
+val background : pool:t -> (unit -> 'a) -> unit -> 'a
+(** [background ~pool task] starts [task] on a borrowed pool worker and
+    returns a join thunk; calling the thunk waits for and returns the
+    task's result (re-raising its exception).  When [jobs pool = 1], or
+    no worker is free, [task] instead runs inline at join time — same
+    result, no overlap.  The task must share no mutable state with the
+    caller's continuing work. *)
+
+val spawned_domains : unit -> int
+(** Worker domains spawned by the process-wide pool since the last
+    {!quiesce} — {e stable} across repeated fan-outs of the same width:
+    reuse means two successive [map_array] calls leave it unchanged.
+    Introspection for tests and capacity audits. *)
+
+val quiesce : unit -> unit
+(** Retire and join every pooled worker domain.  A parked domain is not
+    free: it remains a full participant in the OCaml runtime's
+    stop-the-world sections, so after any fan-out, {e purely sequential}
+    code pays a cross-domain barrier on every minor collection — a large
+    constant factor on small machines.  Call this at the boundary from a
+    parallel phase to a long sequential one; the next fan-out respawns
+    workers transparently ({!spawned_domains} restarts from there).
+    Workers still running a job finish it first.  Must not be called
+    concurrently with an in-flight fan-out on another thread. *)
+
+val max_workers : int
+(** Hard cap on pooled worker domains (leaves headroom under the OCaml
+    runtime's 128-domain limit for the caller's own domains). *)

@@ -16,33 +16,57 @@ let exponential rng ~mean =
   let u = 1. -. Mwc.float01 rng in
   -.mean *. log u
 
-(* Zipf by inversion of the generalized harmonic CDF, computed lazily with a
-   small per-(n,s) cache.  Workloads use a handful of (n,s) pairs, so the
-   cache stays tiny.  The cache is the one piece of state shared across
-   heaps, so it is mutex-guarded: workload drivers run on concurrent
-   domains under Dh_parallel. *)
-let zipf_cache : (int * float, float array) Hashtbl.t = Hashtbl.create 8
-let zipf_lock = Mutex.create ()
+(* Zipf by inversion of the generalized harmonic CDF, computed lazily
+   per (n, s).  Workloads use a handful of pairs, so the caches stay
+   tiny.  This used to be the one mutex shared across heaps — and the
+   lock was held across CDF construction, so the first touch of a new
+   (n, s) blocked every other domain, and even cache hits serialized on
+   the lock.  Now each domain memoizes resolved CDFs in domain-local
+   storage (the hot path touches nothing shared), backed by a published
+   snapshot advanced by lock-free compare-and-set: builders work on
+   private arrays outside any lock and only race on the final pointer
+   swap.  Losing a race costs one redundant build of an identical
+   (deterministic) array — never blocking, never divergence. *)
+
+let build_zipf_cdf ~n ~s =
+  let cdf = Array.make n 0. in
+  let total = ref 0. in
+  for k = 1 to n do
+    total := !total +. (1. /. Float.pow (float_of_int k) s);
+    cdf.(k - 1) <- !total
+  done;
+  for k = 0 to n - 1 do
+    cdf.(k) <- cdf.(k) /. !total
+  done;
+  cdf
+
+(* Published (n, s) -> CDF snapshot: an immutable association list
+   replaced whole via CAS.  A handful of entries, so linear scans on the
+   (per-domain, first-touch-only) miss path are fine. *)
+let zipf_published : ((int * float) * float array) list Atomic.t = Atomic.make []
+
+let zipf_memo : (int * float, float array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 let zipf_cdf ~n ~s =
-  Mutex.lock zipf_lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock zipf_lock)
-    (fun () ->
-      match Hashtbl.find_opt zipf_cache (n, s) with
+  let memo = Domain.DLS.get zipf_memo in
+  match Hashtbl.find_opt memo (n, s) with
+  | Some cdf -> cdf
+  | None ->
+    let rec resolve () =
+      let published = Atomic.get zipf_published in
+      match List.assoc_opt (n, s) published with
       | Some cdf -> cdf
       | None ->
-        let cdf = Array.make n 0. in
-        let total = ref 0. in
-        for k = 1 to n do
-          total := !total +. (1. /. Float.pow (float_of_int k) s);
-          cdf.(k - 1) <- !total
-        done;
-        for k = 0 to n - 1 do
-          cdf.(k) <- cdf.(k) /. !total
-        done;
-        Hashtbl.replace zipf_cache (n, s) cdf;
-        cdf)
+        let cdf = build_zipf_cdf ~n ~s in
+        if Atomic.compare_and_set zipf_published published
+             (((n, s), cdf) :: published)
+        then cdf
+        else resolve () (* someone published meanwhile; re-check for (n, s) *)
+    in
+    let cdf = resolve () in
+    Hashtbl.add memo (n, s) cdf;
+    cdf
 
 let zipf rng ~n ~s =
   if n < 1 then invalid_arg "Dist.zipf: want n >= 1";

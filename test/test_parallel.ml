@@ -245,6 +245,28 @@ let test_supervisor_jobs_equivalence () =
   check "first-try success equal at jobs=2" true
     (supervisor_incident ~jobs:2 ~master = seq)
 
+(* --- long-lived worker reuse --- *)
+
+(* Workers are spawned once and parked between fan-outs: successive
+   map_array calls must borrow the same domains, not spawn fresh ones —
+   the regression behind the old negative `--jobs` scaling. *)
+let test_pool_worker_reuse () =
+  let pool = Pool.create ~jobs:4 () in
+  ignore (Pool.map_array ~pool (fun x -> x + 1) (Array.init 64 Fun.id));
+  let spawned = Pool.spawned_domains () in
+  check "workers were spawned for jobs=4" true (spawned >= 3);
+  ignore (Pool.map_array ~pool (fun x -> x * 2) (Array.init 128 Fun.id));
+  ignore (Pool.init ~pool 64 Fun.id);
+  check_int "successive fan-outs reuse parked domains" spawned
+    (Pool.spawned_domains ());
+  (* Parked workers still participate in stop-the-world sections, so the
+     parallel-to-sequential boundary retires them; the next fan-out
+     respawns transparently. *)
+  Pool.quiesce ();
+  check_int "quiesce retires every worker" 0 (Pool.spawned_domains ());
+  ignore (Pool.map_array ~pool (fun x -> x - 1) (Array.init 64 Fun.id));
+  check "fan-out after quiesce respawns" true (Pool.spawned_domains () > 0)
+
 (* --- telemetry under the pool --- *)
 
 (* Worker domains write metric shards picked by their own domain id;
@@ -293,6 +315,37 @@ let prop_observation_invariance =
       && strip (observed ~jobs:1) = strip baseline
       && strip (observed ~jobs:4) = strip baseline)
 
+(* The Squid-style server under the supervisor with telemetry enabled:
+   the full stack at once — long-lived worker pool, per-domain metric
+   cells, domain-local Zipf CDFs, sampled heap trace instants — must
+   keep `--jobs n` identical to `--jobs 1` on a realistic workload, not
+   just on the micro-programs above. *)
+let server_incident ~jobs ~master ~attack_every =
+  Supervisor.run
+    ~config:(Config.v ~heap_size:Dh_workload.Server.heap_size ~jobs ())
+    ~seed_pool:(Seed.create ~master)
+    (Dh_workload.Server.program ~requests:96 ~attack_every ())
+
+let prop_server_jobs_equivalence =
+  QCheck.Test.make
+    ~name:"server under supervisor: jobs=n equals jobs=1, telemetry on"
+    ~count:6
+    QCheck.(pair (int_bound 500) (oneofl [ 0; 7 ]))
+    (fun (master, attack_every) ->
+      Dh_obs.Control.with_enabled true @@ fun () ->
+      Fun.protect
+        ~finally:(fun () ->
+          Dh_obs.Metrics.reset Dh_obs.Metrics.default;
+          Dh_obs.Tracing.reset ();
+          Dh_obs.Recorder.clear ())
+        (fun () ->
+          let strip i = { i with Supervisor.flight = [] } in
+          let seq = strip (server_incident ~jobs:1 ~master ~attack_every) in
+          List.for_all
+            (fun jobs ->
+              strip (server_incident ~jobs ~master ~attack_every) = seq)
+            [ 2; 4 ]))
+
 let suite =
   [
     Alcotest.test_case "pool: empty" `Quick test_pool_empty;
@@ -312,7 +365,10 @@ let suite =
       test_campaign_jobs_equivalence;
     Alcotest.test_case "supervisor: jobs equivalence" `Quick
       test_supervisor_jobs_equivalence;
+    Alcotest.test_case "pool: workers reused across fan-outs" `Quick
+      test_pool_worker_reuse;
     Alcotest.test_case "metrics: shards merge under pool" `Quick
       test_metrics_shard_merge_under_pool;
     QCheck_alcotest.to_alcotest prop_observation_invariance;
+    QCheck_alcotest.to_alcotest prop_server_jobs_equivalence;
   ]
