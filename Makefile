@@ -1,6 +1,6 @@
 # Convenience targets for the DieHard reproduction.
 
-.PHONY: all build test bench bench-quick bench-scaling obs-check fuzz examples check clean
+.PHONY: all build test bench bench-quick bench-scaling bench-space obs-check fuzz examples check clean
 
 all: build
 
@@ -24,6 +24,15 @@ bench-quick:
 # warning; see Throughput.scaling_gate).
 bench-scaling:
 	dune exec bench/throughput.exe -- --jobs 8
+
+# The §4.5 space gate: run the meshing frontier (touched pages
+# with/without page meshing per workload), rewrite BENCH_space.json,
+# and fail unless some workload's full-mode touched-page reduction
+# reaches 2x — the cap pair-only meshing can deliver, so the gate
+# catches any regression in the mesher (see DESIGN.md, "Page
+# meshing").  CI smoke runs the quick variant with a relaxed 1.5x bar.
+bench-space:
+	dune exec bench/main.exe -- space-gate
 
 # Telemetry + checkpoint gate, two legs.  First an untraced full run
 # gated against the committed baseline: the obs-disabled allocation path

@@ -10,7 +10,9 @@
        overflow from a small object reach a different-size object?
    A4  the §4.4 libc shims — strcpy overflow survival with the bounded
        replacements on vs off.
-   A5  the M knob — overflow masking and probe cost as M grows. *)
+   A5  the M knob — overflow masking and probe cost as M grows.
+   A8  page meshing — resident-set cost of randomization with and
+       without MESH-style page sharing. *)
 
 module Allocator = Dh_alloc.Allocator
 module Process = Dh_mem.Process
@@ -239,6 +241,39 @@ let a7_partial_protection ~trials =
   Report.note "protected objects keep the randomized-reclamation guarantee;";
   Report.note "unprotected ones fall back to the baseline's LIFO behaviour"
 
+let a8_meshing ~quick () =
+  Report.subheading "A8: page meshing (the resident-set cost of randomization)";
+  Report.note
+    "random placement scatters the live set across pages; meshing merges pages";
+  Report.note "with disjoint live slots back onto shared backing pages:";
+  let profile =
+    match Dh_workload.Profile.find "espresso" with
+    | Some p -> Dh_workload.Profile.scale p ~factor:(if quick then 0.2 else 1.0)
+    | None -> failwith "espresso profile missing"
+  in
+  let heap_size = max (Dh_workload.Driver.heap_size_for profile) (24 lsl 20) in
+  let leg ~mesh =
+    let heap = Factory.diehard_heap ~heap_size ~mesh () in
+    let alloc = Heap.allocator heap in
+    let r = Dh_workload.Driver.run profile alloc in
+    if mesh then ignore (Heap.mesh heap);
+    let mem = alloc.Allocator.mem in
+    (Dh_mem.Mem.touched_pages mem, Dh_mem.Mem.mapped_bytes mem,
+     r.Dh_workload.Driver.checksum)
+  in
+  let touched_off, mapped_off, sum_off = leg ~mesh:false in
+  let touched_on, mapped_on, sum_on = leg ~mesh:true in
+  Report.table ~header:[ "meshing"; "pages touched"; "mapped"; "same result" ]
+    [
+      [ "off"; string_of_int touched_off;
+        Printf.sprintf "%d KB" (mapped_off / 1024); "-" ];
+      [ "on"; string_of_int touched_on;
+        Printf.sprintf "%d KB" (mapped_on / 1024);
+        (if sum_off = sum_on then "yes" else "NO") ];
+    ];
+  Report.note "placement stays uniform-random (same seed, same checksum); only the";
+  Report.note "virtual-to-backing page map changes"
+
 let run ~quick () =
   Report.heading "Ablations: what each DieHard design decision buys";
   let trials = if quick then 40 else 200 in
@@ -248,4 +283,5 @@ let run ~quick () =
   a4_shims ~trials:(min trials 50);
   a5_multiplier ~trials;
   a6_adaptive ();
-  a7_partial_protection ~trials:(min trials 100)
+  a7_partial_protection ~trials:(min trials 100);
+  a8_meshing ~quick ()

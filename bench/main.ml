@@ -29,6 +29,7 @@ let experiments ~quick =
     ("replicas", fun () -> Replicas.run ~quick ());
     ("probes", fun () -> Probes.run ~quick ());
     ("space", fun () -> Space.run ~quick ());
+    ("space-gate", fun () -> Space.gate ~quick ());
     ("ablate", fun () -> Ablate.run ~quick ());
   ]
 
@@ -39,7 +40,8 @@ let () =
   let selected = List.filter (fun a -> a <> "quick" && a <> "csv") args in
   let experiments = experiments ~quick in
   let to_run =
-    if selected = [] then experiments
+    (* The gate can exit non-zero; it only runs when named explicitly. *)
+    if selected = [] then List.filter (fun (n, _) -> n <> "space-gate") experiments
     else
       List.filter_map
         (fun name ->

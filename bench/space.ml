@@ -22,19 +22,95 @@ let measure profile make_alloc =
   let mapped = Mem.mapped_bytes mem in
   (rounding, stats.Stats.peak_live_bytes, mapped, Mem.touched_pages mem)
 
+(* A renamed or mistyped profile must not quietly empty the table: fail
+   loudly instead of [concat_map]-ing it into nothing. *)
+let find_profile_exn name =
+  match Profile.find name with
+  | Some profile -> profile
+  | None ->
+    Printf.eprintf "space: unknown workload profile %S (known: %s)\n%!" name
+      (String.concat ", " (List.map (fun p -> p.Profile.name) Profile.all));
+    exit 2
+
+let profiles = [ "cfrac"; "espresso"; "300.twolf" ]
+
+(* --- the meshing frontier: RSS with and without page meshing ---
+
+   Same profile, same seed, twin DieHard heaps; the mesh-on heap runs
+   MESH-style page meshing on the freed-bytes trigger.  Driver checksums
+   are placement-independent, so the two runs must agree bit-for-bit on
+   program-visible output — the table would be invalid otherwise. *)
+
+type mesh_row = {
+  mr_profile : string;
+  touched_off : int;
+  touched_on : int;
+  mapped_off : int;
+  mapped_on : int;
+  meshes : int;
+}
+
+let mesh_ratio r =
+  if r.touched_on = 0 then 1.0
+  else float_of_int r.touched_off /. float_of_int r.touched_on
+
+let measure_mesh ~factor name =
+  let profile = Profile.scale (find_profile_exn name) ~factor in
+  let heap_size = max (Driver.heap_size_for profile) (24 lsl 20) in
+  let leg ~mesh =
+    let heap = Factory.diehard_heap ~heap_size ~mesh () in
+    let alloc = Diehard.Heap.allocator heap in
+    let result = Driver.run profile alloc in
+    (* One final pass sweeps the epilogue's frees; the freed-bytes trigger
+       only sees churn during the run. *)
+    if mesh then ignore (Diehard.Heap.mesh heap);
+    (result, Mem.touched_pages alloc.Allocator.mem,
+     Mem.mapped_bytes alloc.Allocator.mem, Diehard.Heap.meshes heap)
+  in
+  let off, touched_off, mapped_off, _ = leg ~mesh:false in
+  let on, touched_on, mapped_on, meshes = leg ~mesh:true in
+  if off.Driver.checksum <> on.Driver.checksum then begin
+    Printf.eprintf
+      "space: mesh-on run diverged from mesh-off on %s (checksum %d vs %d)\n%!"
+      name on.Driver.checksum off.Driver.checksum;
+    exit 3
+  end;
+  { mr_profile = name; touched_off; touched_on; mapped_off; mapped_on; meshes }
+
+let mesh_frontier ~quick () =
+  let factor = if quick then 0.2 else 1.0 in
+  List.map (measure_mesh ~factor) profiles
+
+let mesh_section rows =
+  Report.subheading "Page meshing: the RSS/reliability frontier";
+  Report.note "twin runs, same seed; checksums verified identical (meshing never";
+  Report.note "changes program-visible bytes). touched = pages written, post-run.";
+  Report.table
+    ~header:
+      [ "benchmark"; "touched off"; "touched on"; "reduction"; "mapped off";
+        "mapped on"; "meshes" ]
+    (List.map
+       (fun r ->
+         [
+           r.mr_profile;
+           string_of_int r.touched_off;
+           string_of_int r.touched_on;
+           Printf.sprintf "%.2fx" (mesh_ratio r);
+           Printf.sprintf "%d KB" (r.mapped_off / 1024);
+           Printf.sprintf "%d KB" (r.mapped_on / 1024);
+           string_of_int r.meshes;
+         ])
+       rows)
+
 let run ~quick () =
   Report.heading "Section 4.5: space consumption and page-level locality";
   Report.note "rounding = reserved/requested bytes; mapped = total address space mapped";
   Report.note "touched pages is the simulation's resident-set proxy";
   let factor = if quick then 0.2 else 1.0 in
-  let profiles = [ "cfrac"; "espresso"; "300.twolf" ] in
   let rows =
     List.concat_map
       (fun name ->
-        match Profile.find name with
-        | None -> []
-        | Some profile ->
-          let profile = Profile.scale profile ~factor in
+          let profile = Profile.scale (find_profile_exn name) ~factor in
           let heap_size = max (Driver.heap_size_for profile) (24 lsl 20) in
           List.map
             (fun (alloc_name, make) ->
@@ -51,6 +127,7 @@ let run ~quick () =
               ("malloc", fun () -> Factory.freelist ());
               ("GC", fun () -> Factory.gc ());
               ("DieHard", fun () -> Factory.diehard ~heap_size ());
+              ("DieHard+mesh", fun () -> Factory.diehard ~heap_size ~mesh:true ());
             ])
       profiles
   in
@@ -59,4 +136,70 @@ let run ~quick () =
     rows;
   Report.note
     "expected shape: DieHard rounds up (<= 2x), maps M x 12 regions lazily, and";
-  Report.note "touches many more pages (the paper's TLB/RSS discussion, esp. twolf)"
+  Report.note "touches many more pages (the paper's TLB/RSS discussion, esp. twolf)";
+  mesh_section (mesh_frontier ~quick ())
+
+(* --- machine-readable baseline + CI gate ---
+
+   `bench-space` writes BENCH_space.json and fails when meshing stops
+   reducing the resident set: at least one section-4.5 workload must
+   shrink its touched-page count by [required_ratio].  Pair meshing
+   caps a single workload at exactly 2x, which full-mode cfrac and
+   espresso reach; quick mode's truncated runs land just short, so the
+   smoke bar is lower — it gates "meshing still pays", not the
+   frontier.  A quick-mode run that found no mesh candidates at all
+   skips loudly instead of gating on noise. *)
+
+let required_ratio ~quick = if quick then 1.5 else 2.0
+
+let write_json ~path ~quick rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"diehard-bench-space/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string b
+    (Printf.sprintf "  \"required_ratio\": %.2f,\n" (required_ratio ~quick));
+  Buffer.add_string b "  \"profiles\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": %S, \"touched_off\": %d, \"touched_on\": %d, \
+            \"ratio\": %.3f, \"mapped_off\": %d, \"mapped_on\": %d, \
+            \"meshes\": %d}%s\n"
+           r.mr_profile r.touched_off r.touched_on (mesh_ratio r) r.mapped_off
+           r.mapped_on r.meshes
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ],\n";
+  let best = List.fold_left (fun acc r -> Float.max acc (mesh_ratio r)) 1.0 rows in
+  Buffer.add_string b (Printf.sprintf "  \"best_ratio\": %.3f\n" best);
+  Buffer.add_string b "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let gate ~quick ?(out = "BENCH_space.json") () =
+  Report.heading "Space gate: meshing must keep paying for itself";
+  let rows = mesh_frontier ~quick () in
+  mesh_section rows;
+  write_json ~path:out ~quick rows;
+  let total_meshes = List.fold_left (fun acc r -> acc + r.meshes) 0 rows in
+  let best = List.fold_left (fun acc r -> Float.max acc (mesh_ratio r)) 1.0 rows in
+  let required = required_ratio ~quick in
+  if total_meshes = 0 && quick then
+    (* Quick mode shrinks the workloads; an empty candidate set is noise,
+       not a regression — but say so unmissably. *)
+    print_endline
+      "SPACE GATE SKIPPED: no mesh candidates found in quick mode (not a failure)"
+  else if best < required then begin
+    Printf.eprintf
+      "SPACE GATE FAILED: best touched-page reduction %.2fx < required %.2fx\n%!"
+      best required;
+    exit 3
+  end
+  else
+    Printf.printf
+      "space gate ok: best touched-page reduction %.2fx (>= %.2fx) across %d meshes\n%!"
+      best required total_meshes

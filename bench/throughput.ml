@@ -96,6 +96,16 @@ let () =
   | `Fail msg ->
     prerr_endline ("scaling gate: " ^ msg);
     exit 1);
+  (* The obs ratchet: enabled instrumentation must stay within its
+     overhead budget on every bench run. *)
+  (match Dh_bench.Throughput.obs_gate report with
+  | `Pass ->
+    Printf.printf "obs gate: enabled overhead %.1f%% within the %.0f%% budget\n"
+      report.Dh_bench.Throughput.obs.Dh_bench.Throughput.enabled_overhead_pct
+      Dh_bench.Throughput.max_enabled_overhead_pct
+  | `Fail msg ->
+    prerr_endline ("obs gate: " ^ msg);
+    exit 1);
   (* The rewind rung's contract: recovering by rewinding dirty pages must
      beat restarting the whole run, and must not change what the program
      prints.  Both are checked on every bench run, baseline or not. *)

@@ -62,6 +62,20 @@ let input_arg =
   let doc = "Standard input for the program: a file path, or '-' for the tool's stdin." in
   Arg.(value & opt (some string) None & info [ "input" ] ~docv:"FILE" ~doc)
 
+let mesh_arg =
+  let doc =
+    "Enable MESH-style page meshing on DieHard heaps: pages of a size class \
+     whose live slots are disjoint share one backing page, roughly halving the \
+     resident set without moving objects or changing placement randomness."
+  in
+  Arg.(value & flag & info [ "mesh" ] ~doc)
+
+let mesh_threshold_arg =
+  let doc = "Freed bytes between automatic mesh passes (with --mesh)." in
+  Arg.(value
+       & opt int Diehard.Config.default.Diehard.Config.mesh_threshold
+       & info [ "mesh-threshold" ] ~docv:"BYTES" ~doc)
+
 let bounded_arg =
   let doc = "Enable DieHard's bounded libc replacements (strcpy/strncpy/memcpy, \u{00a7}4.4)." in
   Arg.(value & flag & info [ "bounded-libc" ] ~doc)
@@ -121,11 +135,11 @@ let obs_setup trace metrics =
 
 let obs_term = Term.(const obs_setup $ obs_trace_arg $ obs_metrics_arg)
 
-let make_allocator kind ~seed ~heap_size =
+let make_allocator ?(mesh = false) ?mesh_threshold kind ~seed ~heap_size =
   let mem = Dh_mem.Mem.create () in
   match kind with
   | `Diehard ->
-    let config = Diehard.Config.v ~heap_size ~seed () in
+    let config = Diehard.Config.v ~heap_size ~seed ~mesh ?mesh_threshold () in
     Diehard.Heap.allocator (Diehard.Heap.create ~config mem)
   | `Adaptive -> Diehard.Adaptive.allocator (Diehard.Adaptive.create ~seed mem)
   | `Libc -> Dh_alloc.Freelist.allocator (Dh_alloc.Freelist.create mem)
@@ -150,11 +164,12 @@ let report_result (r : Dh_mem.Process.result) =
 (* --- run --- *)
 
 let run_cmd =
-  let action () prog alloc_kind policy seed heap_size input bounded fuel =
+  let action () prog alloc_kind policy seed heap_size mesh mesh_threshold input
+      bounded fuel =
     let source = load_source prog in
     let libc = if bounded then Dh_lang.Interp.Bounded else Dh_lang.Interp.Unchecked in
     let program = Dh_lang.Interp.program_of_source ~libc ~name:prog source in
-    let alloc = make_allocator alloc_kind ~seed ~heap_size in
+    let alloc = make_allocator ~mesh ~mesh_threshold alloc_kind ~seed ~heap_size in
     let result =
       Dh_alloc.Program.run ~policy_kind:policy ~input:(read_input input) ~fuel program
         alloc
@@ -165,7 +180,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const action $ obs_term $ prog_arg $ allocator_arg $ policy_arg $ seed_arg
-      $ heap_arg $ input_arg $ bounded_arg $ fuel_arg)
+      $ heap_arg $ mesh_arg $ mesh_threshold_arg $ input_arg $ bounded_arg
+      $ fuel_arg)
 
 (* --- replicate --- *)
 
@@ -174,10 +190,10 @@ let replicas_arg =
   Arg.(value & opt int 3 & info [ "n"; "replicas" ] ~docv:"K" ~doc)
 
 let replicate_cmd =
-  let action () prog replicas seed heap_size input fuel jobs =
+  let action () prog replicas seed heap_size mesh mesh_threshold input fuel jobs =
     let source = load_source prog in
     let program = Dh_lang.Interp.program_of_source ~name:prog source in
-    let config = Diehard.Config.v ~heap_size ~jobs () in
+    let config = Diehard.Config.v ~heap_size ~jobs ~mesh ~mesh_threshold () in
     let report =
       Diehard.Replicated.run ~config ~replicas
         ~seed_pool:(Dh_rng.Seed.create ~master:seed)
@@ -208,7 +224,7 @@ let replicate_cmd =
   Cmd.v (Cmd.info "replicate" ~doc)
     Term.(
       const action $ obs_term $ prog_arg $ replicas_arg $ seed_arg $ heap_arg
-      $ input_arg $ fuel_arg $ jobs_arg)
+      $ mesh_arg $ mesh_threshold_arg $ input_arg $ fuel_arg $ jobs_arg)
 
 (* --- inject --- *)
 
@@ -222,7 +238,8 @@ let trials_arg =
   Arg.(value & opt int 10 & info [ "trials" ] ~docv:"N" ~doc)
 
 let inject_cmd =
-  let action () prog mode trials alloc_kind seed heap_size input fuel jobs =
+  let action () prog mode trials alloc_kind seed heap_size mesh mesh_threshold
+      input fuel jobs =
     let source = load_source prog in
     let program = Dh_lang.Interp.program_of_source ~name:prog source in
     let spec =
@@ -233,7 +250,8 @@ let inject_cmd =
     match
       Dh_fault.Campaign.run ~input:(read_input input) ~fuel ~jobs ~trials ~spec
         ~make_alloc:(fun ~trial ->
-          make_allocator alloc_kind ~seed:(seed + trial) ~heap_size)
+          make_allocator ~mesh ~mesh_threshold alloc_kind ~seed:(seed + trial)
+            ~heap_size)
         program
     with
     | Ok tally ->
@@ -247,7 +265,8 @@ let inject_cmd =
   Cmd.v (Cmd.info "inject" ~doc)
     Term.(
       const action $ obs_term $ prog_arg $ mode_arg $ trials_arg $ allocator_arg
-      $ seed_arg $ heap_arg $ input_arg $ fuel_arg $ jobs_arg)
+      $ seed_arg $ heap_arg $ mesh_arg $ mesh_threshold_arg $ input_arg
+      $ fuel_arg $ jobs_arg)
 
 (* --- survive --- *)
 
@@ -292,8 +311,8 @@ let attack_every_arg =
 
 let survive_cmd =
   let action () prog retries backoff no_rescue no_diagnose checkpoint_interval
-      max_rewinds requests attack_every policy_kind seed heap_size input fuel
-      jobs =
+      max_rewinds requests attack_every policy_kind seed heap_size mesh
+      mesh_threshold input fuel jobs =
     let program, heap_size =
       match prog with
       | "server" ->
@@ -318,7 +337,7 @@ let survive_cmd =
     in
     let incident =
       Diehard.Supervisor.run ~policy
-        ~config:(Diehard.Config.v ~heap_size ~jobs ())
+        ~config:(Diehard.Config.v ~heap_size ~jobs ~mesh ~mesh_threshold ())
         ~seed_pool:(Dh_rng.Seed.create ~master:seed)
         ~input:(read_input input) ~policy_kind program
     in
@@ -355,7 +374,7 @@ let survive_cmd =
       const action $ obs_term $ prog_arg $ retries_arg $ backoff_arg
       $ no_rescue_arg $ no_diagnose_arg $ checkpoint_interval_arg $ rewinds_arg
       $ requests_arg $ attack_every_arg $ policy_arg $ seed_arg $ heap_arg
-      $ input_arg $ fuel_arg $ jobs_arg)
+      $ mesh_arg $ mesh_threshold_arg $ input_arg $ fuel_arg $ jobs_arg)
 
 (* --- check --- *)
 
@@ -456,11 +475,18 @@ let bench_cmd =
         Printf.eprintf "scaling gate: %s\n" msg;
         false
     in
+    let obs_ok =
+      match Dh_bench.Throughput.obs_gate report with
+      | `Pass -> true
+      | `Fail msg ->
+        Printf.eprintf "obs gate: %s\n" msg;
+        false
+    in
     exit
       (if report.Dh_bench.Throughput.fill.Dh_bench.Throughput.semantics_match
           && report.Dh_bench.Throughput.copy.Dh_bench.Throughput.semantics_match
           && Dh_bench.Throughput.deterministic report
-          && scaling_ok
+          && scaling_ok && obs_ok
        then 0
        else 1)
   in

@@ -75,6 +75,105 @@ let first_clear t =
   in
   go 0
 
+(* 256-entry popcount table: byte-at-a-time window cardinality without a
+   per-bit bounds-checked [get]. *)
+let popcount8 =
+  Array.init 256 (fun b ->
+      let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
+      go b 0)
+
+let check_window t ~off ~len =
+  if len < 0 then invalid_arg "Bitmap: negative window length";
+  if off < 0 || off + len > t.length then
+    invalid_arg "Bitmap: window out of range"
+
+(* All window operations have a byte-chunked fast path when the window is
+   byte-aligned (every meshable size class gives slots-per-page that is
+   either a multiple of 8 or sub-byte) and a bitwise fallback otherwise. *)
+
+let window_cardinal t ~off ~len =
+  check_window t ~off ~len;
+  if off land 7 = 0 && len land 7 = 0 then begin
+    let n = ref 0 in
+    let byte0 = off lsr 3 in
+    for i = byte0 to byte0 + (len lsr 3) - 1 do
+      n := !n + Array.unsafe_get popcount8 (Char.code (Bytes.unsafe_get t.bits i))
+    done;
+    !n
+  end
+  else begin
+    let n = ref 0 in
+    for i = off to off + len - 1 do
+      if Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+      then incr n
+    done;
+    !n
+  end
+
+let window_disjoint t ~a ~b ~len =
+  check_window t ~off:a ~len;
+  check_window t ~off:b ~len;
+  if a land 7 = 0 && b land 7 = 0 && len land 7 = 0 then begin
+    (* O(words): compare whole bytes of the two windows. *)
+    let ba = a lsr 3 and bb = b lsr 3 in
+    let nbytes = len lsr 3 in
+    let rec go i =
+      i >= nbytes
+      || (Char.code (Bytes.unsafe_get t.bits (ba + i))
+          land Char.code (Bytes.unsafe_get t.bits (bb + i))
+          = 0
+          && go (i + 1))
+    in
+    go 0
+  end
+  else begin
+    let bit off i =
+      Char.code (Bytes.unsafe_get t.bits ((off + i) lsr 3))
+      land (1 lsl ((off + i) land 7))
+      <> 0
+    in
+    let rec go i = i >= len || ((not (bit a i && bit b i)) && go (i + 1)) in
+    go 0
+  end
+
+let window_iter_set t ~off ~len f =
+  check_window t ~off ~len;
+  (* Indices passed to [f] are window-relative. *)
+  for i = 0 to len - 1 do
+    if
+      Char.code (Bytes.unsafe_get t.bits ((off + i) lsr 3))
+      land (1 lsl ((off + i) land 7))
+      <> 0
+    then f i
+  done
+
+let disjoint a b =
+  if a.length <> b.length then invalid_arg "Bitmap.disjoint: length mismatch";
+  let nbytes = Bytes.length a.bits in
+  let rec go i =
+    i >= nbytes
+    || (Char.code (Bytes.unsafe_get a.bits i)
+        land Char.code (Bytes.unsafe_get b.bits i)
+        = 0
+        && go (i + 1))
+  in
+  go 0
+
+let union_into ~dst ~src =
+  if dst.length <> src.length then
+    invalid_arg "Bitmap.union_into: length mismatch";
+  let nbytes = Bytes.length dst.bits in
+  let cardinal = ref 0 in
+  for i = 0 to nbytes - 1 do
+    let merged =
+      Char.code (Bytes.unsafe_get dst.bits i)
+      lor Char.code (Bytes.unsafe_get src.bits i)
+    in
+    Bytes.unsafe_set dst.bits i (Char.unsafe_chr merged);
+    cardinal := !cardinal + Array.unsafe_get popcount8 merged
+  done;
+  dst.cardinal <- !cardinal
+
 let iter_clear t f =
   for byte = 0 to Bytes.length t.bits - 1 do
     let b = Char.code (Bytes.unsafe_get t.bits byte) in

@@ -41,3 +41,31 @@ val iter_clear : t -> (int -> unit) -> unit
 (** Apply to every clear index, ascending — the sweep-side complement of
     {!iter_set} (scanning free slots without a per-bit bounds-checked
     [get]). *)
+
+(** {1 Word-level set algebra}
+
+    Used by the page mesher: a size-class region's bitmap is viewed as a
+    sequence of per-page windows, and two pages can share one physical
+    backing page exactly when their windows are disjoint. *)
+
+val disjoint : t -> t -> bool
+(** [disjoint a b] is true when no index is set in both.  The lengths
+    must match.  Cost is O(words), not O(bits). *)
+
+val union_into : dst:t -> src:t -> unit
+(** OR [src] into [dst] in place, recomputing [dst]'s cardinal.  The
+    lengths must match. *)
+
+val window_cardinal : t -> off:int -> len:int -> int
+(** Set bits inside the window [off, off+len).  Byte-chunked via a
+    popcount table when the window is byte-aligned. *)
+
+val window_disjoint : t -> a:int -> b:int -> len:int -> bool
+(** Whether the windows [a, a+len) and [b, b+len) of the same bitmap
+    have no common set offset — the meshability test for two pages of
+    one region.  O(words) when the windows are byte-aligned (every size
+    class with more than 8 slots per page). *)
+
+val window_iter_set : t -> off:int -> len:int -> (int -> unit) -> unit
+(** Apply to every set index inside the window, passing the
+    window-relative offset, ascending. *)

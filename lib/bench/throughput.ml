@@ -667,6 +667,21 @@ let scaling_gate r =
     | [] -> `Pass
     | fs -> `Fail (String.concat "; " fs)
 
+(* The obs gate: switching tracing + metrics on must not slow the alloc
+   churn beyond [max_enabled_overhead_pct].  The budget ratchets down as
+   the instrumentation gets cheaper: 64.8% before the cached-cell
+   observes (per-record DLS read + hash lookup), ~29% after; 45% leaves
+   noise headroom on loaded runners while still catching a regression
+   back to per-record lookups. *)
+let max_enabled_overhead_pct = 45.0
+
+let obs_gate r =
+  if r.obs.enabled_overhead_pct <= max_enabled_overhead_pct then `Pass
+  else
+    `Fail
+      (Printf.sprintf "obs-enabled overhead %.1f%% exceeds the %.0f%% budget"
+         r.obs.enabled_overhead_pct max_enabled_overhead_pct)
+
 (* --- output --- *)
 
 let json_rate b r =

@@ -142,6 +142,14 @@ val scaling_gate : report -> [ `Pass | `Skipped_single_core | `Fail of string ]
     the gate reports [`Skipped_single_core]: callers should warn and
     carry on, never encode the inevitable slowdown as acceptable. *)
 
+val obs_gate : report -> [ `Pass | `Fail of string ]
+(** The obs-overhead gate: enabling tracing + metrics must not slow the
+    diehard alloc churn past a fixed budget ({!max_enabled_overhead_pct})
+    — the ratchet that keeps instrumentation trending toward always-on
+    cost. *)
+
+val max_enabled_overhead_pct : float
+
 val ops_per_sec : rate -> float
 
 val mb_per_sec : rate -> float

@@ -7,11 +7,14 @@ type t = {
   seed : int;
   jobs : int;
   obs : bool;
+  mesh : bool;
+  mesh_threshold : int;
 }
 
 let validate t =
   if t.multiplier < 2 then invalid_arg "Config: multiplier must be >= 2";
   if t.jobs < 1 then invalid_arg "Config: jobs must be >= 1";
+  if t.mesh_threshold <= 0 then invalid_arg "Config: mesh threshold must be positive";
   let region = t.heap_size / Size_class.count in
   if region < Size_class.max_size * t.multiplier then
     invalid_arg "Config: heap too small for the largest size class";
@@ -26,14 +29,17 @@ let default =
       seed = 1;
       jobs = 1;
       obs = false;
+      mesh = false;
+      mesh_threshold = 256 lsl 10;
     }
 
 let paper_default = validate { default with heap_size = 384 lsl 20 }
 
 let v ?(multiplier = default.multiplier) ?(heap_size = default.heap_size)
     ?(replicated = default.replicated) ?(seed = default.seed)
-    ?(jobs = default.jobs) ?(obs = default.obs) () =
-  validate { multiplier; heap_size; replicated; seed; jobs; obs }
+    ?(jobs = default.jobs) ?(obs = default.obs) ?(mesh = default.mesh)
+    ?(mesh_threshold = default.mesh_threshold) () =
+  validate { multiplier; heap_size; replicated; seed; jobs; obs; mesh; mesh_threshold }
 
 let region_size t =
   let raw = t.heap_size / Size_class.count in

@@ -32,6 +32,18 @@ type t = {
           Telemetry is write-only: it never feeds back into execution, so
           a run's output is identical with it on or off.  Off by
           default; the disabled path is one atomic load per site. *)
+  mesh : bool;
+      (** Enable MESH-style page meshing: pages of one size-class region
+          whose slot bitmaps are disjoint are merged onto a single
+          backing page (see DESIGN.md, "Page meshing").  Pointers and
+          placements are untouched — allocation stays uniform-random —
+          but the resident-set proxies ({!Dh_mem.Mem.touched_pages},
+          [mapped_bytes]) shrink.  Off by default; an off-heap behaves
+          byte-identically to a heap built before meshing existed. *)
+  mesh_threshold : int;
+      (** Freed bytes between automatic mesh passes when [mesh] is on
+          (also reachable explicitly via [Heap.mesh]).  Must be
+          positive. *)
 }
 
 val default : t
@@ -49,12 +61,14 @@ val v :
   ?seed:int ->
   ?jobs:int ->
   ?obs:bool ->
+  ?mesh:bool ->
+  ?mesh_threshold:int ->
   unit ->
   t
 (** Build a configuration, defaulting missing fields from {!default}.
-    Raises [Invalid_argument] if [multiplier < 2], [jobs < 1], or the
-    heap is too small to give each region one object of the largest size
-    class. *)
+    Raises [Invalid_argument] if [multiplier < 2], [jobs < 1],
+    [mesh_threshold <= 0], or the heap is too small to give each region
+    one object of the largest size class. *)
 
 val region_size : t -> int
 (** Bytes per size-class region ([heap_size / 12], page-rounded down). *)

@@ -12,6 +12,16 @@ type region = {
   bitmap : Bitmap.t;
   mutable base : int;  (* 0 until lazily mapped *)
   mutable in_use : int;
+  (* --- page-meshing state (classes whose size fits in a page) --- *)
+  slots_per_page : int;  (* 0 for classes larger than a page *)
+  page_live : int array;  (* per-page live-slot counts, length = pages *)
+  masked : Bitmap.t;
+      (* slot is free but its bytes belong to a live object on the buddy
+         page sharing the backing page — unusable until un-meshed.  Kept
+         apart from [bitmap] so free-validation and fullness semantics
+         are untouched. *)
+  buddy : int array;  (* page -> page sharing its backing page, or -1 *)
+  mutable meshed : int;  (* currently-meshed pairs in this region *)
 }
 
 type large_object = { payload : int; size : int; map_base : int; map_len : int }
@@ -21,19 +31,27 @@ module Imap = Map.Make (Int)
 (* Metric handles resolved once per heap (lazily, so heaps built before
    telemetry is switched on still pick them up): interning an instrument
    takes the registry mutex, which is far too heavy for the per-malloc
-   path and serializes concurrent heaps. *)
+   path and serializes concurrent heaps.  The handles are the cached
+   [local_histogram] form — a heap records from one domain at a time, so
+   each observe is a plain add, with no domain-local-storage lookup. *)
 type obs_instruments = {
-  malloc_probes : Dh_obs.Metrics.histogram;
-  malloc_bytes : Dh_obs.Metrics.histogram;
+  malloc_probes : Dh_obs.Metrics.local_histogram;
+  malloc_bytes : Dh_obs.Metrics.local_histogram;
 }
 
 type t = {
   config : Config.t;
   mem : Mem.t;
   rng : Mwc.t;
+  mesh_rng : Mwc.t;
+      (* The SplitMesher draws from its own deterministic stream: meshing
+         must never advance the allocation generator, or mesh-off and
+         mesh-on runs would diverge before the first mesh. *)
   regions : region array;
   mutable large : large_object Imap.t;  (* keyed by payload base *)
   stats : Stats.t;
+  mutable freed_since_mesh : int;  (* bytes freed since the last pass *)
+  mutable meshes : int;  (* cumulative successful meshes *)
   mutable obs : obs_instruments option;
 }
 
@@ -59,6 +77,9 @@ let create ?(config = Config.default) mem =
   let regions =
     Array.init Size_class.count (fun class_ ->
         let capacity = Config.objects_in_region config ~class_ in
+        let size = Size_class.size class_ in
+        let slots_per_page = if size <= Mem.page_size then Mem.page_size / size else 0 in
+        let pages = if slots_per_page = 0 then 0 else capacity / slots_per_page in
         {
           class_;
           capacity;
@@ -66,6 +87,11 @@ let create ?(config = Config.default) mem =
           bitmap = Bitmap.create capacity;
           base = 0;
           in_use = 0;
+          slots_per_page;
+          page_live = Array.make pages 0;
+          masked = Bitmap.create capacity;
+          buddy = Array.make pages (-1);
+          meshed = 0;
         })
   in
   let t =
@@ -73,14 +99,20 @@ let create ?(config = Config.default) mem =
       config;
       mem;
       rng = Mwc.create ~seed:config.Config.seed;
+      (* Any fixed perturbation decorrelates the two streams while staying
+         a pure function of the configured seed (determinism). *)
+      mesh_rng = Mwc.create ~seed:(config.Config.seed lxor 0x4d455348);
       regions;
       large = Imap.empty;
       stats = Stats.create ();
+      freed_since_mesh = 0;
+      meshes = 0;
       obs = None;
     }
   in
   if Dh_obs.Control.enabled () then begin
     Stats.register ~prefix:"heap" t.stats;
+    Dh_obs.Metrics.gauge_fn Dh_obs.Metrics.default "heap.meshes" (fun () -> t.meshes);
     Dh_obs.Recorder.register_context "heap.occupancy" (occupancy_summary t)
   end;
   t
@@ -92,8 +124,12 @@ let obs_instruments t =
     let reg = Dh_obs.Metrics.default in
     let o =
       {
-        malloc_probes = Dh_obs.Metrics.histogram reg "heap.malloc.probes";
-        malloc_bytes = Dh_obs.Metrics.histogram reg "heap.malloc.bytes";
+        malloc_probes =
+          Dh_obs.Metrics.local_histogram
+            (Dh_obs.Metrics.histogram reg "heap.malloc.probes");
+        malloc_bytes =
+          Dh_obs.Metrics.local_histogram
+            (Dh_obs.Metrics.histogram reg "heap.malloc.bytes");
       }
     in
     t.obs <- Some o;
@@ -124,13 +160,24 @@ let rng t = t.rng
    [t.stats] / [t.rng] / the per-region bitmaps, and must observe the
    restored state through those aliases. *)
 
-type region_snapshot = { rs_bitmap : Bitmap.t; rs_base : int; rs_in_use : int }
+type region_snapshot = {
+  rs_bitmap : Bitmap.t;
+  rs_base : int;
+  rs_in_use : int;
+  rs_masked : Bitmap.t;
+  rs_page_live : int array;
+  rs_buddy : int array;
+  rs_meshed : int;
+}
 
 type snapshot = {
   snap_regions : region_snapshot array;
   snap_large : large_object Imap.t;  (* immutable map of immutable records *)
   snap_rng : Mwc.t;
+  snap_mesh_rng : Mwc.t;
   snap_stats : Stats.t;
+  snap_freed_since_mesh : int;
+  snap_meshes : int;
 }
 
 let snapshot t =
@@ -142,24 +189,40 @@ let snapshot t =
             rs_bitmap = Bitmap.copy region.bitmap;
             rs_base = region.base;
             rs_in_use = region.in_use;
+            rs_masked = Bitmap.copy region.masked;
+            rs_page_live = Array.copy region.page_live;
+            rs_buddy = Array.copy region.buddy;
+            rs_meshed = region.meshed;
           })
         t.regions;
     snap_large = t.large;
     snap_rng = Mwc.copy t.rng;
+    snap_mesh_rng = Mwc.copy t.mesh_rng;
     snap_stats = Stats.copy t.stats;
+    snap_freed_since_mesh = t.freed_since_mesh;
+    snap_meshes = t.meshes;
   }
 
 let restore t snap =
+  (* The mesh state (masked bits, buddy table) restores in lockstep with
+     [Mem.rewind], which undoes the corresponding physical remaps. *)
   Array.iteri
     (fun i rs ->
       let region = t.regions.(i) in
       Bitmap.assign region.bitmap ~from:rs.rs_bitmap;
       region.base <- rs.rs_base;
-      region.in_use <- rs.rs_in_use)
+      region.in_use <- rs.rs_in_use;
+      Bitmap.assign region.masked ~from:rs.rs_masked;
+      Array.blit rs.rs_page_live 0 region.page_live 0 (Array.length rs.rs_page_live);
+      Array.blit rs.rs_buddy 0 region.buddy 0 (Array.length rs.rs_buddy);
+      region.meshed <- rs.rs_meshed)
     snap.snap_regions;
   t.large <- snap.snap_large;
   Mwc.assign t.rng ~from:snap.snap_rng;
-  Stats.assign t.stats ~from:snap.snap_stats
+  Mwc.assign t.mesh_rng ~from:snap.snap_mesh_rng;
+  Stats.assign t.stats ~from:snap.snap_stats;
+  t.freed_since_mesh <- snap.snap_freed_since_mesh;
+  t.meshes <- snap.snap_meshes
 
 let reseed t ~seed = Mwc.reseed t.rng ~seed
 
@@ -189,7 +252,7 @@ let malloc_large t sz =
   t.large <- Imap.add payload { payload; size = body; map_base; map_len } t.large;
   Stats.on_malloc t.stats ~requested:sz ~reserved:body;
   if Dh_obs.Control.enabled () then begin
-    Dh_obs.Metrics.observe (obs_instruments t).malloc_bytes sz;
+    Dh_obs.Metrics.observe_local (obs_instruments t).malloc_bytes sz;
     Dh_obs.Tracing.instant ~arg:(string_of_int sz) "heap.malloc.large"
   end;
   Some payload
@@ -209,6 +272,146 @@ let large_containing t addr =
   | Some (_, lo) when addr < lo.payload + lo.size -> Some lo
   | Some _ | None -> None
 
+(* --- page meshing (MESH, Powers et al.): compacting the randomized
+   heap without moving objects ---
+
+   Random placement is what spreads the live set across nearly every
+   page (the paper's §4.5 space cost); meshing recovers the pages.  Two
+   pages of one size-class region whose slot occupancies are disjoint
+   can share a single backing page: [Mem.alias] merges the emptier
+   page's live bytes into the fuller one's backing page and remaps it —
+   no pointer changes, no object moves.  Each page's free slots that
+   overlap its buddy's live slots become *masked*: still free in the
+   region bitmap (so free-validation and the 1/M threshold are
+   untouched) but skipped by the probe loop, because their bytes belong
+   to the buddy's objects.
+
+   Candidate search is MESH's SplitMesher: shuffle the (at most
+   half-full, un-meshed) pages of a region with a dedicated rng, split
+   into two halves, and probe each left page against a bounded window of
+   right pages for bitmap disjointness (O(words) per test via
+   [Bitmap.window_disjoint]).  Placements never stop being
+   uniform-random — a masked slot is rejected exactly like an occupied
+   one — so Theorem 1's guarantees survive; only the probe's acceptance
+   set shrinks, and never below [1 - 2/M] of the region. *)
+
+let mesh_probes = 16
+
+(* Coalesced [(byte_offset, len)] ranges of a page's live slots — the
+   bytes [Mem.alias] must carry over from the retired backing page. *)
+let live_ranges region page =
+  let spp = region.slots_per_page in
+  let size = Size_class.size region.class_ in
+  let ranges = ref [] in
+  let run_start = ref (-1) in
+  let run_len = ref 0 in
+  Bitmap.window_iter_set region.bitmap ~off:(page * spp) ~len:spp (fun s ->
+      if !run_start >= 0 && s = !run_start + !run_len then incr run_len
+      else begin
+        if !run_start >= 0 then
+          ranges := (!run_start * size, !run_len * size) :: !ranges;
+        run_start := s;
+        run_len := 1
+      end);
+  if !run_start >= 0 then ranges := (!run_start * size, !run_len * size) :: !ranges;
+  List.rev !ranges
+
+let mesh_pair t region a b =
+  let spp = region.slots_per_page in
+  (* The fuller page survives (fewer bytes to merge); ties break low so
+     the choice is deterministic. *)
+  let src, dst =
+    if region.page_live.(a) > region.page_live.(b) then (a, b)
+    else if region.page_live.(b) > region.page_live.(a) then (b, a)
+    else (min a b, max a b)
+  in
+  Mem.alias t.mem
+    ~src:(region.base + (src * Mem.page_size))
+    ~dst:(region.base + (dst * Mem.page_size))
+    ~live:(live_ranges region dst);
+  (* Each page's live slots mask the mirror slots on its buddy: those
+     free slots now address the other page's object bytes. *)
+  Bitmap.window_iter_set region.bitmap ~off:(src * spp) ~len:spp (fun s ->
+      Bitmap.set region.masked ((dst * spp) + s));
+  Bitmap.window_iter_set region.bitmap ~off:(dst * spp) ~len:spp (fun s ->
+      Bitmap.set region.masked ((src * spp) + s));
+  region.buddy.(a) <- b;
+  region.buddy.(b) <- a;
+  region.meshed <- region.meshed + 1;
+  t.meshes <- t.meshes + 1
+
+(* Keep at least 1/8 of a region's slots free-and-unmasked: meshing
+   trades probe headroom for pages, and this bound keeps the expected
+   probe count finite whatever M is. *)
+let mesh_headroom_ok region =
+  region.in_use + Bitmap.cardinal region.masked
+  <= region.capacity - (region.capacity / 8)
+
+let mesh_region t region =
+  if region.base = 0 || region.slots_per_page = 0 || not (mesh_headroom_ok region)
+  then 0
+  else begin
+    let spp = region.slots_per_page in
+    let pages = region.capacity / spp in
+    let candidates = ref [] in
+    let n = ref 0 in
+    for p = pages - 1 downto 0 do
+      if region.buddy.(p) < 0 && region.page_live.(p) * 2 <= spp then begin
+        candidates := p :: !candidates;
+        incr n
+      end
+    done;
+    let n = !n in
+    if n < 2 then 0
+    else begin
+      let cand = Array.of_list !candidates in
+      (* Fisher-Yates off the dedicated mesh rng. *)
+      for i = n - 1 downto 1 do
+        let j = Mwc.below t.mesh_rng (i + 1) in
+        let tmp = cand.(i) in
+        cand.(i) <- cand.(j);
+        cand.(j) <- tmp
+      done;
+      let half = n / 2 in
+      let right = n - half in
+      let used = Array.make right false in
+      let meshed = ref 0 in
+      for i = 0 to half - 1 do
+        if mesh_headroom_ok region then begin
+          let l = cand.(i) in
+          let limit = min mesh_probes right in
+          let rec probe k =
+            if k < limit then begin
+              let j = (i + k) mod right in
+              let r = cand.(half + j) in
+              if
+                (not used.(j))
+                && Bitmap.window_disjoint region.bitmap ~a:(l * spp) ~b:(r * spp)
+                     ~len:spp
+              then begin
+                used.(j) <- true;
+                mesh_pair t region l r;
+                incr meshed
+              end
+              else probe (k + 1)
+            end
+          in
+          probe 0
+        end
+      done;
+      !meshed
+    end
+  end
+
+let mesh t =
+  Dh_obs.Tracing.span "heap.mesh" (fun () ->
+      let meshed = Array.fold_left (fun acc r -> acc + mesh_region t r) 0 t.regions in
+      if meshed > 0 && Dh_obs.Control.enabled () then
+        Dh_obs.Tracing.instant ~arg:(string_of_int meshed) "heap.meshed";
+      meshed)
+
+let meshes t = t.meshes
+
 (* --- small objects: randomized bitmap allocation (Figure 2) --- *)
 
 (* Telemetry for the small-object path: probe-count and request-size
@@ -218,16 +421,23 @@ let large_containing t addr =
 let observe_malloc t ~probes ~bytes =
   if Dh_obs.Control.enabled () then begin
     let o = obs_instruments t in
-    Dh_obs.Metrics.observe o.malloc_probes probes;
-    Dh_obs.Metrics.observe o.malloc_bytes bytes;
+    Dh_obs.Metrics.observe_local o.malloc_probes probes;
+    Dh_obs.Metrics.observe_local o.malloc_bytes bytes;
     if (t.stats.Stats.mallocs - 1) mod trace_sample = 0 then
       Dh_obs.Tracing.instant ~arg:(string_of_int bytes) "heap.malloc"
   end
 
 let malloc_small t sz class_ =
   let region = t.regions.(class_) in
-  if region.in_use >= region.threshold then begin
-    (* At threshold: this size class offers no more memory (§4.2). *)
+  if
+    region.in_use >= region.threshold
+    || (region.meshed > 0
+       && region.in_use + Bitmap.cardinal region.masked >= region.capacity)
+  then begin
+    (* At threshold: this size class offers no more memory (§4.2).  A
+       meshed region can also exhaust its probeable slots outright —
+       masked slots hold buddy-page bytes — though the headroom bound in
+       the mesher keeps this to pathological sequences. *)
     t.stats.Stats.failed_mallocs <- t.stats.Stats.failed_mallocs + 1;
     if Dh_obs.Control.enabled () then
       Dh_obs.Tracing.instant ~arg:(string_of_int class_) "heap.exhausted";
@@ -238,15 +448,34 @@ let malloc_small t sz class_ =
     let size = Size_class.size class_ in
     (* Probe for a free slot, like probing into a hash table.  Because the
        region is at most 1/M full, the expected number of probes is
-       1/(1 - 1/M). *)
+       1/(1 - 1/M).  Masked slots (their bytes belong to a meshed buddy
+       page's live objects) are rejected exactly like occupied ones; the
+       [meshed > 0] guard keeps an unmeshed heap's rng stream — and so
+       its entire behavior — byte-identical to a meshless build. *)
     let rec probe n =
       let index = Mwc.below t.rng region.capacity in
-      if Bitmap.get region.bitmap index then probe (n + 1) else (index, n)
+      if
+        Bitmap.get region.bitmap index
+        || (region.meshed > 0 && Bitmap.get region.masked index)
+      then probe (n + 1)
+      else (index, n)
     in
     let index, probes = probe 1 in
     t.stats.Stats.probes <- t.stats.Stats.probes + probes;
     Bitmap.set region.bitmap index;
     region.in_use <- region.in_use + 1;
+    if region.slots_per_page > 0 then begin
+      let page = index / region.slots_per_page in
+      region.page_live.(page) <- region.page_live.(page) + 1;
+      if region.meshed > 0 then begin
+        let q = region.buddy.(page) in
+        if q >= 0 then
+          (* The new object's bytes live on the shared backing page: its
+             mirror slot on the buddy page must stop being handed out. *)
+          Bitmap.set region.masked
+            ((q * region.slots_per_page) + (index mod region.slots_per_page))
+      end
+    end;
     let addr = region.base + (index * size) in
     if t.config.Config.replicated then Mem.fill_random t.mem ~addr ~len:size t.rng;
     Stats.on_malloc t.stats ~requested:sz ~reserved:size;
@@ -292,11 +521,28 @@ let free t addr =
         if Bitmap.get region.bitmap index then begin
           Bitmap.clear region.bitmap index;
           region.in_use <- region.in_use - 1;
+          if region.slots_per_page > 0 then begin
+            let page = index / region.slots_per_page in
+            region.page_live.(page) <- region.page_live.(page) - 1;
+            if region.meshed > 0 then begin
+              let q = region.buddy.(page) in
+              if q >= 0 then
+                Bitmap.clear region.masked
+                  ((q * region.slots_per_page) + (index mod region.slots_per_page))
+            end
+          end;
           Stats.on_free t.stats ~reserved:size;
           if
             Dh_obs.Control.enabled ()
             && (t.stats.Stats.frees - 1) mod trace_sample = 0
-          then Dh_obs.Tracing.instant ~arg:(string_of_int size) "heap.free"
+          then Dh_obs.Tracing.instant ~arg:(string_of_int size) "heap.free";
+          if t.config.Config.mesh then begin
+            t.freed_since_mesh <- t.freed_since_mesh + size;
+            if t.freed_since_mesh >= t.config.Config.mesh_threshold then begin
+              t.freed_since_mesh <- 0;
+              ignore (mesh t)
+            end
+          end
         end
         else t.stats.Stats.ignored_frees <- t.stats.Stats.ignored_frees + 1
       end

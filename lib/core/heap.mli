@@ -40,6 +40,25 @@ val allocator : t -> Dh_alloc.Allocator.t
 
 val stats : t -> Dh_alloc.Stats.t
 
+(** {1 Page meshing}
+
+    MESH-style compaction (see DESIGN.md, "Page meshing"): merge pages
+    of a size-class region whose slot bitmaps are disjoint onto one
+    backing page via {!Dh_mem.Mem.alias}.  Pointers never change and
+    placement stays uniform-random; the region's free slots that overlap
+    a buddy page's live objects are masked out of the probe loop.  With
+    {!Config.t.mesh} set, a pass runs automatically every
+    [mesh_threshold] freed bytes; {!mesh} runs one on demand either
+    way. *)
+
+val mesh : t -> int
+(** Run one SplitMesher pass over every mapped region and return the
+    number of page pairs meshed (each retires one backing page). *)
+
+val meshes : t -> int
+(** Cumulative successful meshes over the heap's lifetime (the
+    ["heap.meshes"] gauge). *)
+
 (** {1 Snapshot / restore}
 
     DieHard's metadata is segregated from the simulated address space, so

@@ -145,6 +145,45 @@ let observe h v =
     cell.sum <- cell.sum + v
   end
 
+(* --- caller-held cell caches ---
+
+   [observe] pays a DLS read plus an id-keyed hash lookup on every
+   record.  Long-lived single-writer instruments (a heap's malloc
+   histograms) can hold a [local_histogram] instead: the resolved cell
+   is cached inline and re-resolved only when the recording domain
+   changes, so the steady-state hot path is one enabled check, one
+   domain-id compare, and two plain adds.  Correctness leans on the
+   same invariant as the memo: cells are written only by their owning
+   domain.  The cache itself is unsynchronized, so a [local_histogram]
+   must not be recorded to by two domains concurrently — heaps already
+   promise that. *)
+
+type local_histogram = {
+  lh : histogram;
+  mutable lh_owner : int;  (* domain id the cached cell belongs to; -1 = none *)
+  mutable lh_cell : histogram_cell;
+}
+
+let fresh_hist_cell () = { buckets = Array.make bucket_count 0; sum = 0 }
+
+let local_histogram h =
+  (* The placeholder cell is unregistered and unreachable from dumps;
+     owner -1 forces a real resolve on first record. *)
+  { lh = h; lh_owner = -1; lh_cell = fresh_hist_cell () }
+
+let observe_local lh v =
+  if Control.enabled () then begin
+    let me = (Domain.self () :> int) in
+    if lh.lh_owner <> me then begin
+      lh.lh_cell <- local_cell histogram_memo lh.lh fresh_hist_cell;
+      lh.lh_owner <- me
+    end;
+    let cell = lh.lh_cell in
+    let bucket = bucket_of v in
+    cell.buckets.(bucket) <- cell.buckets.(bucket) + 1;
+    cell.sum <- cell.sum + v
+  end
+
 let histogram_cells h = Mutex.protect h.cells_lock (fun () -> h.cells)
 
 let histogram_sum h =

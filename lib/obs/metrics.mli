@@ -73,6 +73,20 @@ val observe : histogram -> int -> unit
     (even though recording itself is skipped when disabled, the sign
     check only runs while enabled). *)
 
+type local_histogram
+(** A caller-held cache of one domain's cell for a histogram: skips the
+    domain-local-storage read and hash lookup {!observe} pays on every
+    record.  The cache is unsynchronized — a [local_histogram] must not
+    be recorded to by two domains concurrently (it re-resolves correctly
+    when ownership moves {e between} bursts, e.g. a heap handed from one
+    domain to another). *)
+
+val local_histogram : histogram -> local_histogram
+
+val observe_local : local_histogram -> int -> unit
+(** Like {!observe} through the cached cell: one enabled check, one
+    domain-id compare, two plain adds in the steady state. *)
+
 val histogram_sum : histogram -> int
 
 val histogram_total : histogram -> int

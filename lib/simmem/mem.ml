@@ -8,18 +8,38 @@ type segment = {
   base : int;
   len : int;  (* page-rounded *)
   data : Bytes.t;
-  prot : prot array;  (* one entry per page *)
-  touched : bool array;  (* pages written at least once *)
+  prot : prot array;  (* one entry per VIRTUAL page *)
+  phys : int array;
+      (* virtual page -> physical page (an index into [data]'s pages).
+         Identity until {!alias} meshes two virtual pages onto one
+         backing page; [prot] stays virtual (two meshed pages may be
+         protected independently) while [touched]/[dirty_epoch] and all
+         byte storage are physical. *)
+  refcnt : int array;
+      (* physical page -> number of virtual pages it backs; 0 = retired
+         by a mesh (its bytes are kept so a rewind can resurrect it). *)
+  mutable meshes : int;  (* retired physical pages in this segment *)
+  mutable aliased : bool;  (* false = [phys] is identity (fast paths) *)
+  touched : bool array;  (* PHYSICAL pages written at least once *)
   dirty_epoch : int array;
-      (* per page: the checkpoint epoch in which it was last dirtied.
-         "Dirty now" means [dirty_epoch.(p) = t.epoch]; arming or
-         rewinding a checkpoint bumps [t.epoch], so the whole space is
+      (* per PHYSICAL page: the checkpoint epoch in which it was last
+         dirtied.  "Dirty now" means [dirty_epoch.(p) = t.epoch]; arming
+         or rewinding a checkpoint bumps [t.epoch], so the whole space is
          cleaned in O(1) with no per-page sweep. *)
   born_epoch : int;
       (* epoch at mmap time: a segment with [born_epoch = t.epoch] was
          mapped after the active checkpoint and is discarded wholesale on
          rewind (no pre-images are kept for it). *)
 }
+
+(* Translate a segment-relative byte offset through the physical-page
+   indirection.  Identity for never-meshed segments, and the [aliased]
+   flag keeps that common case to one branch. *)
+let phys_off seg off =
+  if seg.aliased then
+    (Array.unsafe_get seg.phys (off lsr page_shift) lsl page_shift)
+    lor (off land (page_size - 1))
+  else off
 
 module Imap = Map.Make (Int)
 
@@ -81,6 +101,9 @@ type ckpt = {
   mutable prot_log : (segment * int * prot) list;
       (* protection pre-states, newest first: replaying the whole list in
          order ends on the oldest (arm-time) value for every page *)
+  mutable mesh_log : (segment * int * int) list;
+      (* (segment, virtual page, previous physical page), newest first:
+         meshes performed inside the window, undone on rewind *)
   ck_next_base : int;
 }
 
@@ -119,7 +142,12 @@ let publish_metrics t =
   g "touched_pages" (fun () -> t.touched_pages);
   g "dirty_pages" (fun () -> t.dirty);
   g "preimaged_pages" (fun () -> t.preimaged);
-  g "mapped_bytes" (fun () -> Imap.fold (fun _ seg acc -> acc + seg.len) t.segments 0)
+  g "meshed_pages" (fun () ->
+      Imap.fold (fun _ seg acc -> acc + seg.meshes) t.segments 0);
+  g "mapped_bytes" (fun () ->
+      Imap.fold
+        (fun _ seg acc -> acc + seg.len - (seg.meshes * page_size))
+        t.segments 0)
 
 let create () =
   let t =
@@ -195,6 +223,10 @@ let mmap t ?(prot = Read_write) len =
       len;
       data = Bytes.make len '\000';
       prot = Array.make pages prot;
+      phys = Array.init pages (fun p -> p);
+      refcnt = Array.make pages 1;
+      meshes = 0;
+      aliased = false;
       touched = Array.make pages false;
       (* -1 never equals a live epoch: fresh pages start clean. *)
       dirty_epoch = Array.make pages (-1);
@@ -223,7 +255,14 @@ let segment_of t addr =
 
 let is_mapped t addr = Option.is_some (find_segment t addr)
 
-let mapped_bytes t = Imap.fold (fun _ seg acc -> acc + seg.len) t.segments 0
+let mapped_bytes t =
+  (* Meshed pages count once: each alias retires one physical page, so the
+     resident-set proxy shrinks even though the virtual extent is fixed. *)
+  Imap.fold
+    (fun _ seg acc -> acc + seg.len - (seg.meshes * page_size))
+    t.segments 0
+
+let meshed_pages t = Imap.fold (fun _ seg acc -> acc + seg.meshes) t.segments 0
 
 (* --- flight-recorder hook ---
 
@@ -269,7 +308,9 @@ let neighborhood t center =
       for i = 0 to 15 do
         let a = !row + i in
         if a < lo || a >= hi then Buffer.add_string b " .."
-        else Printf.bprintf b " %02x" (Char.code (Bytes.get seg.data (a - seg.base)))
+        else
+          Printf.bprintf b " %02x"
+            (Char.code (Bytes.get seg.data (phys_off seg (a - seg.base))))
       done;
       Buffer.add_char b '\n';
       row := !row + 16
@@ -363,7 +404,10 @@ let prot_allows prot access =
   | Read_write, _ | Read_only, Fault.Read -> true
   | No_access, _ | Read_only, Fault.Write -> false
 
-let mark_touched t seg page =
+(* [page] is a PHYSICAL page index: both the written-page proxy and the
+   checkpoint pre-images live at the physical level, so two meshed virtual
+   pages cost (and pre-image) their shared backing page exactly once. *)
+let mark_touched_phys t seg page =
   if not seg.touched.(page) then begin
     seg.touched.(page) <- true;
     t.touched_pages <- t.touched_pages + 1
@@ -383,6 +427,9 @@ let mark_touched t seg page =
     | Some _ | None -> ()
   end
 
+let mark_touched t seg vpage =
+  mark_touched_phys t seg (Array.unsafe_get seg.phys vpage)
+
 (* Per-byte access check.  Returns the segment so callers can then touch
    the backing bytes directly. *)
 let check t addr access =
@@ -401,12 +448,12 @@ let check t addr access =
 let read8 t addr =
   t.reads <- t.reads + 1;
   let seg = check t addr Fault.Read in
-  Char.code (Bytes.get seg.data (addr - seg.base))
+  Char.code (Bytes.get seg.data (phys_off seg (addr - seg.base)))
 
 let write8 t addr v =
   t.writes <- t.writes + 1;
   let seg = check t addr Fault.Write in
-  Bytes.set seg.data (addr - seg.base) (Char.chr (v land 0xFF))
+  Bytes.set seg.data (phys_off seg (addr - seg.base)) (Char.chr (v land 0xFF))
 
 (* --- bulk validation ---
 
@@ -419,8 +466,14 @@ let write8 t addr v =
    operations are atomic with respect to faults. *)
 
 (* A maximal run of the range that is contiguous in one segment's backing
-   store. *)
+   store.  [seg_off] is the VIRTUAL segment-relative offset; blit sites
+   translate through {!run_off}.  In an aliased segment adjacent virtual
+   pages may live on non-adjacent physical pages, so runs there never
+   cross a page boundary — which makes the one-translation-per-run rule
+   sound. *)
 type run = { rseg : segment; seg_off : int; buf_off : int; rlen : int }
+
+let run_off r = phys_off r.rseg r.seg_off
 
 let validate t ~addr ~len access =
   let fin = addr + len in
@@ -434,6 +487,12 @@ let validate t ~addr ~len access =
       | Some seg ->
         let seg_end = seg.base + seg.len in
         let run_end = min fin seg_end in
+        let run_end =
+          if seg.aliased then
+            min run_end
+              (seg.base + ((((pos - seg.base) lsr page_shift) + 1) lsl page_shift))
+          else run_end
+        in
         let first_page = (pos - seg.base) lsr page_shift in
         let last_page = (run_end - 1 - seg.base) lsr page_shift in
         for p = first_page to last_page do
@@ -500,21 +559,23 @@ let word_check t seg addr access =
 let read64 t addr =
   t.reads <- t.reads + 1;
   match find_segment t addr with
-  | Some seg when addr + word_size <= seg.base + seg.len ->
+  | Some seg when (not seg.aliased) && addr + word_size <= seg.base + seg.len ->
     word_check t seg addr Fault.Read;
     Int64.to_int (Bytes.get_int64_le seg.data (addr - seg.base))
   | _ ->
-    (* Straddles the segment end or starts unmapped: the generic validator
-       faults at the exact first offending byte. *)
+    (* Straddles the segment end, starts unmapped, or lies in a meshed
+       segment (where a word may span two physical pages): the generic
+       validator faults at the exact first offending byte and charges
+       identically to the fast path. *)
     let runs = validate t ~addr ~len:word_size Fault.Read in
     let buf = Bytes.create word_size in
-    List.iter (fun r -> Bytes.blit r.rseg.data r.seg_off buf r.buf_off r.rlen) runs;
+    List.iter (fun r -> Bytes.blit r.rseg.data (run_off r) buf r.buf_off r.rlen) runs;
     Int64.to_int (Bytes.get_int64_le buf 0)
 
 let write64 t addr v =
   t.writes <- t.writes + 1;
   match find_segment t addr with
-  | Some seg when addr + word_size <= seg.base + seg.len ->
+  | Some seg when (not seg.aliased) && addr + word_size <= seg.base + seg.len ->
     word_check t seg addr Fault.Write;
     Bytes.set_int64_le seg.data (addr - seg.base) (Int64.of_int v)
   | _ ->
@@ -524,7 +585,7 @@ let write64 t addr v =
     mark_runs_touched t runs;
     let buf = Bytes.create word_size in
     Bytes.set_int64_le buf 0 (Int64.of_int v);
-    List.iter (fun r -> Bytes.blit buf r.buf_off r.rseg.data r.seg_off r.rlen) runs
+    List.iter (fun r -> Bytes.blit buf r.buf_off r.rseg.data (run_off r) r.rlen) runs
 
 (* --- bulk access --- *)
 
@@ -533,7 +594,7 @@ let read_bytes t ~addr ~len =
   let runs = validate t ~addr ~len Fault.Read in
   t.reads <- t.reads + len;
   let buf = Bytes.create len in
-  List.iter (fun r -> Bytes.blit r.rseg.data r.seg_off buf r.buf_off r.rlen) runs;
+  List.iter (fun r -> Bytes.blit r.rseg.data (run_off r) buf r.buf_off r.rlen) runs;
   Bytes.unsafe_to_string buf
 
 let write_bytes t ~addr s =
@@ -541,14 +602,14 @@ let write_bytes t ~addr s =
   let runs = validate t ~addr ~len Fault.Write in
   t.writes <- t.writes + len;
   mark_runs_touched t runs;
-  List.iter (fun r -> Bytes.blit_string s r.buf_off r.rseg.data r.seg_off r.rlen) runs
+  List.iter (fun r -> Bytes.blit_string s r.buf_off r.rseg.data (run_off r) r.rlen) runs
 
 let fill t ~addr ~len c =
   if len < 0 then invalid_arg "Mem.fill: negative length";
   let runs = validate t ~addr ~len Fault.Write in
   t.writes <- t.writes + len;
   mark_runs_touched t runs;
-  List.iter (fun r -> Bytes.fill r.rseg.data r.seg_off r.rlen c) runs
+  List.iter (fun r -> Bytes.fill r.rseg.data (run_off r) r.rlen c) runs
 
 let fill_random t ~addr ~len rng =
   if len < 0 then invalid_arg "Mem.fill_random: negative length";
@@ -568,7 +629,7 @@ let fill_random t ~addr ~len rng =
   done;
   t.writes <- t.writes + len;
   mark_runs_touched t runs;
-  List.iter (fun r -> Bytes.blit buf r.buf_off r.rseg.data r.seg_off r.rlen) runs
+  List.iter (fun r -> Bytes.blit buf r.buf_off r.rseg.data (run_off r) r.rlen) runs
 
 let cstring ?limit t addr =
   let buf = Buffer.create 16 in
@@ -595,7 +656,9 @@ let cstring ?limit t addr =
         (* Compare rather than add: [budget] defaults to [max_int], and
            [pos + budget] would overflow. *)
         let stop = if budget < page_end - pos then pos + budget else page_end in
-        let off = pos - seg.base in
+        (* The scan never leaves the current virtual page, so one physical
+           translation covers the whole chunk. *)
+        let off = phys_off seg (pos - seg.base) in
         let n = stop - pos in
         let nul =
           match Bytes.index_from_opt seg.data off '\000' with
@@ -616,6 +679,67 @@ let cstring ?limit t addr =
   in
   scan addr limit
 
+(* --- page meshing --- *)
+
+let alias t ~src ~dst ~live =
+  if src land (page_size - 1) <> 0 || dst land (page_size - 1) <> 0 then
+    invalid_arg "Mem.alias: pages must be page-aligned";
+  if src = dst then invalid_arg "Mem.alias: src and dst are the same page";
+  match find_segment t src with
+  | None -> invalid_arg "Mem.alias: src is not mapped"
+  | Some seg ->
+    if dst < seg.base || dst >= seg.base + seg.len then
+      invalid_arg "Mem.alias: src and dst must lie in one segment";
+    let sv = (src - seg.base) lsr page_shift in
+    let dv = (dst - seg.base) lsr page_shift in
+    let ps = seg.phys.(sv) in
+    let pd = seg.phys.(dv) in
+    if ps = pd then invalid_arg "Mem.alias: pages already share a backing page";
+    if seg.refcnt.(pd) <> 1 then
+      invalid_arg "Mem.alias: dst's backing page is shared (mesh it as src)";
+    if seg.prot.(sv) <> Read_write || seg.prot.(dv) <> Read_write then
+      invalid_arg "Mem.alias: both pages must be Read_write";
+    List.iter
+      (fun (off, len) ->
+        if off < 0 || len < 0 || off + len > page_size then
+          invalid_arg "Mem.alias: live range outside the page")
+      live;
+    (* The merge writes into the survivor: pre-image it first so a rewind
+       across this mesh restores its exact pre-merge bytes.  The copy is
+       allocator-internal compaction, not a program access — no stats or
+       TLB/cache charges (the virtual address stream is unchanged). *)
+    if live <> [] then mark_touched_phys t seg ps;
+    (match t.ckpt with
+    | Some c when seg.born_epoch <> t.epoch ->
+      c.mesh_log <- (seg, dv, pd) :: c.mesh_log
+    | Some _ | None -> ());
+    List.iter
+      (fun (off, len) ->
+        Bytes.blit seg.data ((pd lsl page_shift) + off) seg.data
+          ((ps lsl page_shift) + off) len)
+      live;
+    (* Two touched physical pages collapse into one: the retired page's
+       count transfers to the survivor (or cancels if both were counted).
+       The retired page's bytes are deliberately NOT scrubbed — nothing
+       maps to it, and keeping them lets a rewind resurrect the page
+       without an extra pre-image. *)
+    if seg.touched.(pd) then begin
+      seg.touched.(pd) <- false;
+      if seg.touched.(ps) then t.touched_pages <- t.touched_pages - 1
+      else seg.touched.(ps) <- true
+    end;
+    seg.phys.(dv) <- ps;
+    seg.refcnt.(ps) <- seg.refcnt.(ps) + 1;
+    seg.refcnt.(pd) <- 0;
+    seg.meshes <- seg.meshes + 1;
+    seg.aliased <- true
+
+let backing_page t addr =
+  match find_segment t addr with
+  | None -> invalid_arg "Mem.backing_page: unmapped address"
+  | Some seg ->
+    seg.base + (seg.phys.((addr - seg.base) lsr page_shift) lsl page_shift)
+
 (* --- checkpoint / rewind --- *)
 
 let checkpoint t =
@@ -630,6 +754,7 @@ let checkpoint t =
         born = [];
         gone = [];
         prot_log = [];
+        mesh_log = [];
         ck_next_base = t.next_base;
       };
   t.epoch <- t.epoch + 1;
@@ -658,6 +783,20 @@ let rewind t =
        lands last, restoring its arm-time protection. *)
     let protections_restored = List.length c.prot_log in
     List.iter (fun (seg, p, prot) -> seg.prot.(p) <- prot) c.prot_log;
+    (* Meshes performed inside the window are undone newest-first: each
+       virtual page returns to its previous backing page (whose bytes were
+       never scrubbed), and the survivor drops a reference.  Pre-images
+       are keyed by physical page, so the blits below restore bytes
+       correctly whichever mapping a page had when it was dirtied. *)
+    List.iter
+      (fun (seg, dv, old_phys) ->
+        let cur = seg.phys.(dv) in
+        seg.refcnt.(cur) <- seg.refcnt.(cur) - 1;
+        seg.refcnt.(old_phys) <- seg.refcnt.(old_phys) + 1;
+        seg.phys.(dv) <- old_phys;
+        seg.meshes <- seg.meshes - 1;
+        if seg.meshes = 0 then seg.aliased <- false)
+      c.mesh_log;
     List.iter
       (fun (seg, p, img) -> Bytes.blit img 0 seg.data (p lsl page_shift) page_size)
       c.pre;
@@ -673,6 +812,7 @@ let rewind t =
     c.born <- [];
     c.gone <- [];
     c.prot_log <- [];
+    c.mesh_log <- [];
     t.epoch <- t.epoch + 1;
     t.dirty <- 0;
     { pages_restored; segments_remapped; segments_discarded; protections_restored }

@@ -52,7 +52,41 @@ val segment_of : t -> int -> (int * int) option
     containing [addr], if any. *)
 
 val mapped_bytes : t -> int
-(** Total bytes currently mapped (the simulation's resident-set proxy). *)
+(** Total bytes currently backed by physical pages (the simulation's
+    resident-set proxy).  Meshed pages count once: every {!alias} retires
+    one backing page. *)
+
+(** {1 Page meshing}
+
+    MESH-style compaction (see DESIGN.md, "Page meshing"): every segment
+    carries a virtual→physical page table, identity until {!alias} remaps
+    one virtual page onto another's backing page.  Pointers never change —
+    programs keep using the same virtual addresses — but the retired
+    backing page stops counting toward {!mapped_bytes} and
+    {!touched_pages}. *)
+
+val alias : t -> src:int -> dst:int -> live:(int * int) list -> unit
+(** [alias t ~src ~dst ~live] remaps virtual page [dst] onto [src]'s
+    backing page, first merging [dst]'s live bytes — the [(offset, len)]
+    ranges in [live], page-relative — into it.  The caller (the heap
+    mesher) guarantees the two pages' live ranges are disjoint; the merge
+    is allocator-internal compaction, so it charges no stats and no
+    TLB/cache model costs.  Interplay with checkpoints: the survivor page
+    is pre-imaged before the merge and the remap is logged, so a
+    {!rewind} across the mesh restores both the mapping and the bytes.
+
+    Both pages must be page-aligned, [Read_write], and lie in the same
+    segment; [dst]'s backing page must not already be shared.  Raises
+    [Invalid_argument] otherwise (these are mesher bugs, not simulated
+    program faults). *)
+
+val meshed_pages : t -> int
+(** Backing pages currently retired by {!alias} across all segments. *)
+
+val backing_page : t -> int -> int
+(** The address of the backing (physical) page for the page containing
+    the given address — equal for two meshed pages, distinct otherwise
+    (tests and diagnostics). *)
 
 (** {1 Access}
 

@@ -134,6 +134,57 @@ let test_discard_stops_preimaging () =
   check_int "disarmed writes do not" 1 (Mem.preimaged_pages mem);
   check "dirty still tracked" true (Mem.dirty_pages mem >= 1)
 
+(* --- checkpoint / mesh interplay --- *)
+
+let test_rewind_spans_mesh () =
+  (* A checkpoint window that meshes two pages: rewind must split them
+     back apart — distinct backing pages, both restored bit-for-bit, and
+     writes independent again. *)
+  let mem = Mem.create () in
+  let a = Mem.mmap mem (2 * page) in
+  Mem.fill mem ~addr:a ~len:16 'S';
+  Mem.fill mem ~addr:(a + page + 64) ~len:16 'D';
+  let src_before = Mem.read_bytes mem ~addr:a ~len:page in
+  let dst_before = Mem.read_bytes mem ~addr:(a + page) ~len:page in
+  Mem.checkpoint mem;
+  Mem.alias mem ~src:a ~dst:(a + page) ~live:[ (64, 16) ];
+  check_int "meshed inside the window" 1 (Mem.meshed_pages mem);
+  Mem.write8 mem (a + page + 200) 0x77;
+  check_int "shared store while meshed" 0x77 (Mem.read8 mem (a + 200));
+  ignore (Mem.rewind mem);
+  check_int "rewind unmeshes" 0 (Mem.meshed_pages mem);
+  check "backing pages split again" true
+    (Mem.backing_page mem a <> Mem.backing_page mem (a + page));
+  check "src bit-for-bit back" true
+    (Mem.read_bytes mem ~addr:a ~len:page = src_before);
+  check "dst bit-for-bit back" true
+    (Mem.read_bytes mem ~addr:(a + page) ~len:page = dst_before);
+  Mem.write8 mem a 0x11;
+  check "pages independent again" true (Mem.read8 mem (a + page) <> 0x11)
+
+let test_mesh_page_edge_fault () =
+  (* A bulk write straddling off the end of a meshed page keeps the
+     exact-fault, no-tearing discipline, and rewind both restores the
+     bytes and undoes the mesh. *)
+  let mem = Mem.create () in
+  let a = Mem.mmap mem (2 * page) in
+  Mem.fill mem ~addr:a ~len:(2 * page) 'm';
+  let before = Mem.read_bytes mem ~addr:a ~len:(2 * page) in
+  Mem.checkpoint mem;
+  Mem.alias mem ~src:a ~dst:(a + page) ~live:[];
+  (match Mem.write_bytes mem ~addr:(a + (2 * page) - 5) "0123456789" with
+  | () -> Alcotest.fail "straddling write off a meshed page did not fault"
+  | exception Fault.Error (Fault.Unmapped { addr; _ }) ->
+    check_int "fault names the first unmapped byte" (a + (2 * page)) addr
+  | exception Fault.Error f -> Alcotest.failf "wrong fault: %s" (Fault.to_string f));
+  check "no tearing through the shared backing page" true
+    (Mem.read_bytes mem ~addr:(a + (2 * page) - 5) ~len:5 = String.make 5 'm'
+    && Mem.read_bytes mem ~addr:(a + page - 5) ~len:5 = String.make 5 'm');
+  ignore (Mem.rewind mem);
+  check_int "rewind unmeshes" 0 (Mem.meshed_pages mem);
+  check "both pages bit-for-bit back" true
+    (Mem.read_bytes mem ~addr:a ~len:(2 * page) = before)
+
 (* --- QCheck equivalence: checkpoint -> mutate -> rewind = identity --- *)
 
 type op =
@@ -295,6 +346,8 @@ let suite =
     Alcotest.test_case "fault at page edges" `Quick test_fault_at_page_edges;
     Alcotest.test_case "double rewind" `Quick test_double_rewind;
     Alcotest.test_case "discard stops pre-imaging" `Quick test_discard_stops_preimaging;
+    Alcotest.test_case "rewind spans mesh" `Quick test_rewind_spans_mesh;
+    Alcotest.test_case "mesh page-edge fault" `Quick test_mesh_page_edge_fault;
     QCheck_alcotest.to_alcotest prop_rewind_is_identity;
     Alcotest.test_case "heap restore = untouched twin" `Quick
       test_heap_restore_matches_untouched_twin;

@@ -21,6 +21,7 @@ let () =
       ("canary", Test_canary.suite);
       ("supervisor", Test_supervisor.suite);
       ("checkpoint", Test_checkpoint.suite);
+      ("mesh", Test_mesh.suite);
       ("workload", Test_workload.suite);
       ("extensions", Test_extensions.suite);
       ("adaptive", Test_adaptive.suite);
