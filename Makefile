@@ -1,6 +1,6 @@
 # Convenience targets for the DieHard reproduction.
 
-.PHONY: all build test bench bench-quick bench-scaling bench-space obs-check fuzz examples check clean
+.PHONY: all build test bench bench-quick bench-scaling bench-space bench-serve obs-check fuzz examples check clean
 
 all: build
 
@@ -33,6 +33,17 @@ bench-scaling:
 # meshing").  CI smoke runs the quick variant with a relaxed 1.5x bar.
 bench-space:
 	dune exec bench/main.exe -- space-gate
+
+# The serve-loop SLO gate: full-scale serve bench (2M Zipf requests
+# with attack injection under the supervisor), rewrites
+# BENCH_serve.json, and fails on any deterministic regression —
+# a seed that stops surviving, or an output checksum diverging from
+# the committed baseline.  The wall-clock SLO-compliance gate is live
+# on >= 2-core machines and skips loudly on single-core runners, where
+# scheduling noise (not the allocator) sets the tail.  CI smoke runs
+# the quick variant.
+bench-serve:
+	dune exec bench/main.exe -- serve-gate
 
 # Telemetry + checkpoint gate, two legs.  First an untraced full run
 # gated against the committed baseline: the obs-disabled allocation path

@@ -30,6 +30,8 @@ let experiments ~quick =
     ("probes", fun () -> Probes.run ~quick ());
     ("space", fun () -> Space.run ~quick ());
     ("space-gate", fun () -> Space.gate ~quick ());
+    ("serve", fun () -> Serve.run ~quick ());
+    ("serve-gate", fun () -> Serve.gate ~quick ());
     ("ablate", fun () -> Ablate.run ~quick ());
   ]
 
@@ -40,8 +42,9 @@ let () =
   let selected = List.filter (fun a -> a <> "quick" && a <> "csv") args in
   let experiments = experiments ~quick in
   let to_run =
-    (* The gate can exit non-zero; it only runs when named explicitly. *)
-    if selected = [] then List.filter (fun (n, _) -> n <> "space-gate") experiments
+    (* Gates can exit non-zero; they only run when named explicitly. *)
+    if selected = [] then
+      List.filter (fun (n, _) -> n <> "space-gate" && n <> "serve-gate") experiments
     else
       List.filter_map
         (fun name ->

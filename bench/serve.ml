@@ -1,0 +1,330 @@
+(* The ROADMAP's "millions of users" story, measured: drive the
+   Squid-style server through a long Zipf-keyed request stream with
+   periodic overlong-URL attacks, under the supervisor's rewind rung
+   and full observability, and report the serve-loop SLO dashboard —
+   throughput, tail latency (p50/p99/p99.9 from Dh_obs.Quantile),
+   trailing windowed rates, SLO compliance, and survival.
+
+   Two kinds of number come out, gated differently:
+
+   - deterministic: the server's content-derived output checksum, its
+     failed-request count, whether the run survived on a randomized
+     heap and how many rewinds it took.  These must reproduce exactly
+     on any machine, so the gate compares them against the committed
+     BENCH_serve.json baseline whenever the leg geometry matches.
+   - wall-clock: throughput and latency quantiles.  Real but noisy —
+     recorded in the JSON for trend-watching, and the SLO gate over
+     them loud-skips on single-core runners (CI smoke boxes) the same
+     way the throughput scaling gate does. *)
+
+module Supervisor = Diehard.Supervisor
+module Server = Dh_workload.Server
+module Process = Dh_mem.Process
+
+(* Leg geometry.  The full leg is the "millions" run; quick is sized
+   for CI smoke.  Attacks arrive on a prime stride so they drift
+   across checkpoint windows instead of beating against them. *)
+let zipf_s = 1.1
+let attack_stride = 997
+let checkpoint_interval = 512
+let max_rewinds = 4096
+let fuel = 200_000_000
+
+let leg_requests ~quick = if quick then 20_000 else 2_000_000
+let sweep_seeds ~quick = if quick then 4 else 8
+let sweep_requests ~quick = leg_requests ~quick / 10
+
+(* The SLO under test: 200 µs per request with a 1% error budget.  A
+   request is a handful of simulated-memory reads and writes (a few µs
+   on any modern core), so the target is generous by design — breaches
+   mean pathology (runaway chains, thrashing rewinds), not noise. *)
+let slo_target_ns = 200_000
+let slo_budget = 0.01
+
+type leg = {
+  requests : int;
+  wall_s : float;
+  throughput : float;  (* requests/s over the whole ladder *)
+  latency : Dh_obs.Quantile.snapshot;
+  slo : Dh_obs.Slo.report;
+  req_rate : float;  (* trailing-window rates at end of run *)
+  err_rate : float;
+  rewind_rate : float;
+  rewinds : int;
+  checkpoints : int;
+  survived_randomized : bool;
+  checksum : int;  (* content-derived, placement-independent *)
+  failed : int;  (* the server's own failed-request counter *)
+}
+
+(* Pull "key=<int>" out of the server's final "done ..." line.  The
+   output is the determinism fingerprint; a missing field means the run
+   did not finish and the caller treats it as non-survival. *)
+let out_field ~key output =
+  let tag = key ^ "=" in
+  let rec last_from i acc =
+    match String.index_from_opt output i tag.[0] with
+    | None -> acc
+    | Some j ->
+      if
+        j + String.length tag <= String.length output
+        && String.sub output j (String.length tag) = tag
+      then last_from (j + 1) (Some (j + String.length tag))
+      else last_from (j + 1) acc
+  in
+  match last_from 0 None with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while
+      !stop < String.length output
+      && match output.[!stop] with '0' .. '9' -> true | _ -> false
+    do
+      incr stop
+    done;
+    if !stop = start then None
+    else int_of_string_opt (String.sub output start (!stop - start))
+
+let policy =
+  {
+    Supervisor.default_policy with
+    Supervisor.checkpoint_interval;
+    max_rewinds;
+    fuel;
+  }
+
+let run_leg ~requests ~seed () =
+  (* Fresh instruments per leg: the registries are process-wide and a
+     previous leg's samples must not bleed into this one's quantiles. *)
+  Dh_obs.Quantile.reset ();
+  Dh_obs.Window.reset ();
+  let slo =
+    Dh_obs.Slo.configure ~name:"serve" ~target:slo_target_ns ~budget:slo_budget ()
+  in
+  let program =
+    Server.program ~requests ~attack_every:attack_stride ~zipf:zipf_s ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let incident =
+    Supervisor.run ~policy
+      ~config:(Diehard.Config.v ~heap_size:Server.heap_size ~obs:true ())
+      ~seed_pool:(Dh_rng.Seed.create ~master:seed)
+      program
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Dh_obs.Slo.deactivate ();
+  let output = Option.value incident.Supervisor.output ~default:"" in
+  let survived_randomized =
+    match incident.Supervisor.verdict with
+    | Supervisor.Survived i ->
+      (List.nth incident.Supervisor.attempts i).Supervisor.plan.Supervisor.mode
+      = Supervisor.Randomized
+    | Supervisor.Gave_up -> false
+  in
+  let recovery_sum f =
+    List.fold_left
+      (fun acc (a : Supervisor.attempt_report) ->
+        match a.Supervisor.recovery with
+        | Some r -> acc + f r
+        | None -> acc)
+      0 incident.Supervisor.attempts
+  in
+  let window_rate name =
+    match Dh_obs.Window.find name with
+    | Some w -> Dh_obs.Window.rate w ~now:(requests - 1)
+    | None -> 0.
+  in
+  {
+    requests;
+    wall_s;
+    throughput = float_of_int requests /. Float.max wall_s 1e-9;
+    latency = Dh_obs.Quantile.(snapshot (get "serve.latency_ns"));
+    slo = Dh_obs.Slo.report slo;
+    req_rate = window_rate "serve.requests";
+    err_rate = window_rate "serve.errors";
+    rewind_rate = window_rate "serve.rewinds";
+    rewinds = recovery_sum (fun r -> r.Supervisor.rewinds);
+    checkpoints = recovery_sum (fun r -> r.Supervisor.checkpoints);
+    survived_randomized;
+    checksum = Option.value (out_field ~key:"checksum" output) ~default:(-1);
+    failed = Option.value (out_field ~key:"failed" output) ~default:(-1);
+  }
+
+(* Survival rate across seeds: shorter legs, same traffic shape. *)
+let sweep ~quick () =
+  let seeds = sweep_seeds ~quick and requests = sweep_requests ~quick in
+  let survived = ref 0 in
+  for seed = 1 to seeds do
+    let l = run_leg ~requests ~seed () in
+    if l.survived_randomized then incr survived
+  done;
+  (!survived, seeds)
+
+let q snapshot p = Dh_obs.Quantile.quantile snapshot p
+
+let leg_section l =
+  Report.subheading "SLO dashboard (seed 1 leg)";
+  Report.table
+    ~header:[ "metric"; "value" ]
+    [
+      [ "requests"; string_of_int l.requests ];
+      [ "wall clock"; Printf.sprintf "%.2f s" l.wall_s ];
+      [ "throughput"; Printf.sprintf "%.0f req/s" l.throughput ];
+      [ "latency p50"; Printf.sprintf "%d ns" (q l.latency 0.5) ];
+      [ "latency p99"; Printf.sprintf "%d ns" (q l.latency 0.99) ];
+      [ "latency p99.9"; Printf.sprintf "%d ns" (q l.latency 0.999) ];
+      [ "latency max"; Printf.sprintf "%d ns" (Dh_obs.Quantile.max_value l.latency) ];
+      [ "SLO compliance"; Printf.sprintf "%.4f" l.slo.Dh_obs.Slo.compliance ];
+      [
+        "error budget used";
+        Printf.sprintf "%.0f%%%s"
+          (100. *. l.slo.Dh_obs.Slo.budget_used)
+          (if l.slo.Dh_obs.Slo.breached then " (BREACHED)" else "");
+      ];
+      [ "trailing req rate"; Printf.sprintf "%.3f /tick" l.req_rate ];
+      [ "trailing error rate"; Printf.sprintf "%.5f /tick" l.err_rate ];
+      [ "trailing rewind rate"; Printf.sprintf "%.5f /tick" l.rewind_rate ];
+      [ "rewinds"; string_of_int l.rewinds ];
+      [ "checkpoints"; string_of_int l.checkpoints ];
+      [ "failed requests"; string_of_int l.failed ];
+      [ "output checksum"; string_of_int l.checksum ];
+      [ "survived randomized"; string_of_bool l.survived_randomized ];
+    ]
+
+let run ~quick () =
+  Report.heading "Serve-loop SLO observability: the long-haul server under attack";
+  Report.note "zipf(%.1f) keys, attack every %d requests, checkpoint every %d,"
+    zipf_s attack_stride checkpoint_interval;
+  Report.note "SLO: %d ns with a %.0f%% error budget" slo_target_ns
+    (100. *. slo_budget);
+  let l = run_leg ~requests:(leg_requests ~quick) ~seed:1 () in
+  leg_section l;
+  let survived, seeds = sweep ~quick () in
+  Report.note "survival across %d seeds (%d requests each): %d/%d" seeds
+    (sweep_requests ~quick) survived seeds
+
+(* --- machine-readable baseline + CI gate --- *)
+
+let write_json ~path ~quick l ~survived ~seeds =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"diehard-bench-serve/1\",\n";
+  add "  \"quick\": %b,\n" quick;
+  add
+    "  \"config\": {\"requests\": %d, \"attack_every\": %d, \"zipf\": %.2f, \
+     \"seed\": 1, \"checkpoint_interval\": %d, \"slo_target_ns\": %d, \
+     \"slo_budget\": %.3f},\n"
+    l.requests attack_stride zipf_s checkpoint_interval slo_target_ns slo_budget;
+  add
+    "  \"deterministic\": {\"checksum\": %d, \"failed\": %d, \"rewinds\": %d, \
+     \"survived_randomized\": %b},\n"
+    l.checksum l.failed l.rewinds l.survived_randomized;
+  add
+    "  \"wall_clock\": {\"wall_s\": %.3f, \"throughput_rps\": %.0f, \
+     \"p50_ns\": %d, \"p99_ns\": %d, \"p999_ns\": %d, \"max_ns\": %d},\n"
+    l.wall_s l.throughput (q l.latency 0.5) (q l.latency 0.99)
+    (q l.latency 0.999)
+    (Dh_obs.Quantile.max_value l.latency);
+  add
+    "  \"slo\": {\"total\": %d, \"bad\": %d, \"compliance\": %.5f, \
+     \"budget_used\": %.4f, \"breached\": %b},\n"
+    l.slo.Dh_obs.Slo.total l.slo.Dh_obs.Slo.bad l.slo.Dh_obs.Slo.compliance
+    l.slo.Dh_obs.Slo.budget_used l.slo.Dh_obs.Slo.breached;
+  add "  \"survival\": {\"seeds\": %d, \"survived\": %d, \"rate\": %.3f}\n"
+    seeds survived
+    (float_of_int survived /. float_of_int (max 1 seeds));
+  add "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* Minimal baseline scanning: pull "\"key\": <int>" out of the committed
+   JSON.  Good enough for our own writer's output; a hand-edited file
+   that no longer parses simply disables the baseline comparison. *)
+let scan_int ~key s =
+  let tag = Printf.sprintf "\"%s\": " key in
+  let rec find i =
+    match String.index_from_opt s i '"' with
+    | None -> None
+    | Some j ->
+      if
+        j + String.length tag <= String.length s
+        && String.sub s j (String.length tag) = tag
+      then Some (j + String.length tag)
+      else find (j + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while
+      !stop < String.length s
+      &&
+      match s.[!stop] with '0' .. '9' | '-' -> true | _ -> false
+    do
+      incr stop
+    done;
+    if !stop = start then None else int_of_string_opt (String.sub s start (!stop - start))
+
+let read_file path =
+  if Sys.file_exists path then (
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Some s)
+  else None
+
+let gate ~quick ?(out = "BENCH_serve.json") () =
+  Report.heading "Serve gate: survival is deterministic, the SLO must hold";
+  let requests = leg_requests ~quick in
+  (* Read the committed baseline before overwriting it. *)
+  let baseline = read_file out in
+  let l = run_leg ~requests ~seed:1 () in
+  leg_section l;
+  let survived, seeds = sweep ~quick () in
+  write_json ~path:out ~quick l ~survived ~seeds;
+  (* 1. Deterministic survival: the rewind rung must carry the leg on a
+     randomized heap — no rescue, no give-up, on any machine. *)
+  if not l.survived_randomized then begin
+    Printf.eprintf "SERVE GATE FAILED: leg did not survive on a randomized heap\n%!";
+    exit 3
+  end;
+  if survived < seeds then begin
+    Printf.eprintf "SERVE GATE FAILED: survival sweep lost %d/%d seeds\n%!"
+      (seeds - survived) seeds;
+    exit 3
+  end;
+  (* 2. Determinism baseline: same geometry => same checksum, exactly. *)
+  (match baseline with
+  | Some base when scan_int ~key:"requests" base = Some l.requests ->
+    (match scan_int ~key:"checksum" base with
+    | Some c when c <> l.checksum ->
+      Printf.eprintf
+        "SERVE GATE FAILED: output checksum %d != committed baseline %d\n%!"
+        l.checksum c;
+      exit 3
+    | Some _ -> Report.note "checksum matches committed baseline"
+    | None -> Report.note "baseline has no checksum field; skipping comparison")
+  | Some _ ->
+    Report.note "baseline geometry differs (quick vs full leg); checksum not compared"
+  | None -> Report.note "no committed baseline at %s; checksum not compared" out);
+  (* 3. The SLO gate is wall-clock: loud-skip where the numbers are
+     noise (single-core CI smoke runners), fail where they are real. *)
+  if Domain.recommended_domain_count () < 2 then
+    print_endline
+      "SERVE SLO GATE SKIPPED: single-core runner, wall-clock quantiles are noise \
+       (not a failure)"
+  else if l.slo.Dh_obs.Slo.breached then begin
+    Printf.eprintf
+      "SERVE GATE FAILED: SLO breached — %.0f%% of error budget used (compliance %.4f)\n%!"
+      (100. *. l.slo.Dh_obs.Slo.budget_used)
+      l.slo.Dh_obs.Slo.compliance;
+    exit 3
+  end
+  else
+    Printf.printf "serve gate ok: compliance %.4f, %.0f%% of error budget used\n%!"
+      l.slo.Dh_obs.Slo.compliance
+      (100. *. l.slo.Dh_obs.Slo.budget_used)

@@ -20,10 +20,10 @@ let outcome_cell (r : Process.result) =
   | Process.Timeout -> "hang"
 
 let run ~quick () =
-  ignore quick;
   Report.heading "Section 7.3: the Squid-sim heap overflow (ill-formed input)";
-  let good = Apps.squid_good_input ~requests:50 in
-  let attack = Apps.squid_attack_input ~requests:50 in
+  let requests = if quick then 12 else 50 in
+  let good = Apps.squid_good_input ~requests in
+  let attack = Apps.squid_attack_input ~requests in
   let allocators =
     [
       ("GNU libc", fun () -> Factory.freelist ());
@@ -41,7 +41,7 @@ let run ~quick () =
   in
   Report.table ~header:[ "allocator"; "well-formed input"; "ill-formed input" ] rows;
   (* survival rate across seeds for the probabilistic claim *)
-  let seeds = 20 in
+  let seeds = if quick then 6 else 20 in
   let survived = ref 0 in
   for seed = 1 to seeds do
     let r = Program.run ~input:attack (Apps.squid ()) (Factory.diehard ~seed ()) in

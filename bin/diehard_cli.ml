@@ -451,6 +451,232 @@ let diagnose_cmd =
       const action $ obs_term $ prog_arg $ replicas_arg $ seed_arg $ heap_arg
       $ input_arg $ fuel_arg)
 
+(* --- replay: time-travel through the faulting checkpoint window ---
+
+   The flight recorder tells you WHAT was in flight when a run faulted;
+   replay shows you HOW it got there.  The run executes forward under
+   copy-on-write checkpoint windows (the supervisor's rewind-rung
+   discipline) until the first memory fault; then the window is rewound
+   — memory, heap metadata, output — and re-executed one request at a
+   time, deliberately WITHOUT reseeding: programs are deterministic
+   functions of their input and placements, so the fault reproduces at
+   the same step, and every intermediate step can be watched.  Each
+   re-executed request is bracketed in a "replay.step" span, so the
+   flight record captured at the reproduced fault factors into per-step
+   event groups (Dh_obs.Recorder.cursor) printed after the walk. *)
+
+let replay_interval_arg =
+  let doc = "Requests per checkpoint window (the granularity replay rewinds to)." in
+  Arg.(value & opt int 64 & info [ "checkpoint-interval" ] ~docv:"N" ~doc)
+
+let replay_cmd =
+  let action () prog requests attack_every interval seed heap_size input fuel =
+    if interval <= 0 then begin
+      Printf.eprintf "replay: --checkpoint-interval must be positive\n";
+      exit 2
+    end;
+    let svc, heap_size =
+      match prog with
+      | "server" ->
+        ( Dh_workload.Server.service ~requests ~attack_every (),
+          if heap_size = Diehard.Config.default.Diehard.Config.heap_size then
+            Dh_workload.Server.heap_size
+          else heap_size )
+      | name -> (
+        let program =
+          Dh_lang.Interp.program_of_source ~name (load_source name)
+        in
+        match program.Dh_alloc.Program.service with
+        | Some svc -> (svc, heap_size)
+        | None ->
+          Printf.eprintf
+            "replay: %s is not service-shaped; only step-structured programs \
+             (the built-in 'server') can be replayed\n"
+            name;
+          exit 2)
+    in
+    (* The step spans and the flight record are the whole point. *)
+    Dh_obs.Control.set_enabled true;
+    let mem = Dh_mem.Mem.create () in
+    let config = Diehard.Config.v ~heap_size ~seed () in
+    let heap = Diehard.Heap.create ~config mem in
+    let alloc = Diehard.Heap.allocator heap in
+    let stats = alloc.Dh_alloc.Allocator.stats in
+    let exit_code = ref 0 in
+    let result =
+      Dh_mem.Process.run (fun out ->
+          let ctx =
+            {
+              Dh_alloc.Program.alloc;
+              policy = Dh_alloc.Policy.make alloc;
+              input = read_input input;
+              out;
+              now = 0;
+              fuel = Dh_mem.Process.Fuel.create ~budget:fuel;
+            }
+          in
+          let h = svc.Dh_alloc.Program.init ctx in
+          (* Phase 1: run forward, window by window, to the first fault. *)
+          let k = ref 0 in
+          let faulted = ref None in
+          let snap = ref (Diehard.Heap.snapshot heap) in
+          let out_mark = ref 0 in
+          let window_start = ref 0 in
+          while !k < svc.Dh_alloc.Program.requests && !faulted = None do
+            window_start := !k;
+            let window_end =
+              min svc.Dh_alloc.Program.requests (!window_start + interval)
+            in
+            Dh_mem.Mem.checkpoint mem;
+            snap := Diehard.Heap.snapshot heap;
+            out_mark := Dh_mem.Process.Out.length out;
+            (try
+               while !k < window_end do
+                 h.Dh_alloc.Program.handle !k;
+                 incr k
+               done
+             with Dh_mem.Fault.Error f -> faulted := Some f)
+          done;
+          match !faulted with
+          | None ->
+            Dh_mem.Mem.discard_checkpoint mem;
+            h.Dh_alloc.Program.finish ();
+            Printf.printf
+              "no fault in %d requests; nothing to replay (try --attack-every)\n"
+              svc.Dh_alloc.Program.requests
+          | Some fault ->
+            let kf = !k in
+            let original =
+              let c = Dh_mem.Process.Out.contents out in
+              String.sub c !out_mark (String.length c - !out_mark)
+            in
+            Printf.printf
+              "fault at request %d (window %d..%d): %s\nrewinding and replaying \
+               the window step by step (same seed: the fault must reproduce)\n"
+              kf !window_start
+              (min svc.Dh_alloc.Program.requests (!window_start + interval) - 1)
+              (Dh_mem.Fault.to_string fault);
+            let rewind = Dh_mem.Mem.rewind mem in
+            Diehard.Heap.restore heap !snap;
+            Dh_mem.Process.Out.truncate out !out_mark;
+            Printf.printf "rewound %d pages to the checkpoint at request %d\n\n"
+              rewind.Dh_mem.Mem.pages_restored !window_start;
+            (* Phase 2: the time-travel walk. *)
+            let reproduced = ref None in
+            let j = ref !window_start in
+            while !reproduced = None && !j <= kf do
+              let k = !j in
+              Dh_obs.Recorder.set_step k;
+              let len0 = Dh_mem.Process.Out.length out in
+              let dirty0 = Dh_mem.Mem.dirty_pages mem in
+              let m0 = stats.Dh_alloc.Stats.mallocs in
+              let f0 = stats.Dh_alloc.Stats.frees in
+              let live0 = stats.Dh_alloc.Stats.live_bytes in
+              (try
+                 Dh_obs.Tracing.span ~arg:(string_of_int k) "replay.step"
+                   (fun () -> h.Dh_alloc.Program.handle k)
+               with Dh_mem.Fault.Error f -> reproduced := Some f);
+              let len1 = Dh_mem.Process.Out.length out in
+              let dirty1 = Dh_mem.Mem.dirty_pages mem in
+              Printf.printf
+                "  step %-7d +%-4d B out  dirty %3d (+%d)  malloc +%d  free +%d  \
+                 live %+d B%s\n"
+                k (len1 - len0) dirty1 (dirty1 - dirty0)
+                (stats.Dh_alloc.Stats.mallocs - m0)
+                (stats.Dh_alloc.Stats.frees - f0)
+                (stats.Dh_alloc.Stats.live_bytes - live0)
+                (match !reproduced with
+                | Some f -> "  ** FAULT: " ^ Dh_mem.Fault.to_string f ^ " **"
+                | None -> "");
+              (if len1 > len0 then
+                 let c = Dh_mem.Process.Out.contents out in
+                 String.sub c len0 (len1 - len0)
+                 |> String.split_on_char '\n'
+                 |> List.iter (fun l ->
+                        if l <> "" then Printf.printf "      | %s\n" l));
+              incr j
+            done;
+            Dh_obs.Recorder.clear_step ();
+            (* The reproduction contract: same fault, same step, and the
+               replayed window's output is byte-for-byte the original's. *)
+            (match !reproduced with
+            | Some f when !j - 1 = kf && Dh_mem.Fault.to_string f = Dh_mem.Fault.to_string fault
+              ->
+              Printf.printf "\nfault reproduced at step %d\n" kf
+            | Some f ->
+              Printf.printf
+                "\nWARNING: fault diverged on replay (step %d, %s) — determinism \
+                 contract broken\n"
+                (!j - 1) (Dh_mem.Fault.to_string f);
+              exit_code := 1
+            | None ->
+              Printf.printf
+                "\nWARNING: fault did not reproduce on replay — determinism \
+                 contract broken\n";
+              exit_code := 1);
+            let replayed =
+              let c = Dh_mem.Process.Out.contents out in
+              String.sub c !out_mark (String.length c - !out_mark)
+            in
+            if replayed = original then
+              Printf.printf
+                "replay output matches the original byte-for-byte up to the \
+                 fault step (%d bytes)\n"
+                (String.length replayed)
+            else begin
+              Printf.printf
+                "WARNING: replay output diverged from the original (%d vs %d \
+                 bytes)\n"
+                (String.length replayed) (String.length original);
+              exit_code := 1
+            end;
+            (* The flight record of the reproduced fault, factored into
+               per-step event groups by the cursor. *)
+            (match Dh_obs.Recorder.last () with
+            | None -> ()
+            | Some r ->
+              Printf.printf "\nflight record #%d (%s)%s, by step:\n"
+                r.Dh_obs.Recorder.seq r.Dh_obs.Recorder.reason
+                (match r.Dh_obs.Recorder.step with
+                | Some s -> Printf.sprintf " at step %d" s
+                | None -> "");
+              let c = Dh_obs.Recorder.cursor r in
+              let rec walk () =
+                match Dh_obs.Recorder.next c with
+                | None -> ()
+                | Some g ->
+                  Printf.printf "  [%s] %d events\n"
+                    (if g.Dh_obs.Recorder.step_arg = "" then "preamble"
+                     else "step " ^ g.Dh_obs.Recorder.step_arg)
+                    (List.length g.Dh_obs.Recorder.step_events);
+                  List.iter
+                    (fun e ->
+                      Format.printf "    %a@." Dh_obs.Tracing.pp_event e)
+                    g.Dh_obs.Recorder.step_events;
+                  walk ()
+              in
+              walk ()))
+    in
+    (match result.Dh_mem.Process.outcome with
+    | Dh_mem.Process.Exited 0 -> ()
+    | outcome ->
+      Printf.eprintf "replay driver %s\n"
+        (Dh_mem.Process.outcome_to_string outcome);
+      exit_code := 1);
+    exit !exit_code
+  in
+  let doc =
+    "Time-travel replay of the first faulting checkpoint window: run a \
+     service-shaped program forward under copy-on-write checkpoints to the \
+     first memory fault, rewind, and re-execute the window one request at a \
+     time — same seed, so the fault reproduces — printing per-step heap and \
+     output deltas and the flight recorder's per-step trace events."
+  in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(
+      const action $ obs_term $ prog_arg $ requests_arg $ attack_every_arg
+      $ replay_interval_arg $ seed_arg $ heap_arg $ input_arg $ fuel_arg)
+
 (* --- bench --- *)
 
 let bench_cmd =
@@ -513,8 +739,61 @@ let bench_cmd =
 
 (* --- obs: inspect a recorded trace --- *)
 
+(* Validate a --metrics CSV dump: the fixed header, six fields per row,
+   and the quantile columns — integers for histograms, empty for
+   counters and gauges.  Exits nonzero on any violation. *)
+let validate_metrics_csv path =
+  let contents =
+    try read_file path
+    with Sys_error e ->
+      Printf.eprintf "%s\n" e;
+      exit 2
+  in
+  let lines =
+    String.split_on_char '\n' contents |> List.filter (fun l -> l <> "")
+  in
+  (match lines with
+  | header :: _ when header = "name,kind,value,p50,p99,detail" -> ()
+  | header :: _ ->
+    Printf.eprintf "%s: unexpected CSV header %S\n" path header;
+    exit 1
+  | [] ->
+    Printf.eprintf "%s: empty metrics CSV\n" path;
+    exit 1);
+  let histograms = ref 0 and rows = ref 0 in
+  List.iteri
+    (fun i line ->
+      if i > 0 then begin
+        incr rows;
+        match String.split_on_char ',' line with
+        | [ name; kind; value; p50; p99; _detail ] ->
+          let quantiles_ok =
+            match kind with
+            | "histogram" ->
+              incr histograms;
+              (* Histograms always carry both quantile summaries. *)
+              Option.is_some (int_of_string_opt p50)
+              && Option.is_some (int_of_string_opt p99)
+            | "counter" | "gauge" -> p50 = "" && p99 = ""
+            | _ -> false
+          in
+          if int_of_string_opt value = None || not quantiles_ok then begin
+            Printf.eprintf "%s: malformed row for %s (line %d): %s\n" path name
+              (i + 1) line;
+            exit 1
+          end
+        | _ ->
+          Printf.eprintf "%s: row with wrong field count (line %d): %s\n" path
+            (i + 1) line;
+          exit 1
+      end)
+    lines;
+  Printf.printf "%s: %d metric rows, %d histograms with p50/p99 summaries\n" path
+    !rows !histograms
+
 let obs_cmd =
-  let action file expect =
+  let action file expect metrics_csv =
+    Option.iter validate_metrics_csv metrics_csv;
     let contents =
       try read_file file
       with Sys_error e ->
@@ -574,18 +853,28 @@ let obs_cmd =
     in
     Arg.(value & opt (list string) [] & info [ "expect" ] ~docv:"NAMES" ~doc)
   in
-  let doc =
-    "Inspect a recorded trace file: validate that it parses as Chrome \
-     trace_event JSON, summarize event counts per name, and optionally check \
-     expected names are present."
+  let metrics_csv_arg =
+    let doc =
+      "Also validate a --metrics CSV dump: header, per-row field shape, and \
+       the p50/p99 quantile columns (integers on histogram rows, empty \
+       otherwise)."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics-csv" ] ~docv:"FILE" ~doc)
   in
-  Cmd.v (Cmd.info "obs" ~doc) Term.(const action $ file_arg $ expect_arg)
+  let doc =
+    "Inspect recorded observability output: validate that a trace file parses \
+     as Chrome trace_event JSON, summarize event counts per name, optionally \
+     check expected names are present, and optionally validate a metrics CSV \
+     dump including its quantile columns."
+  in
+  Cmd.v (Cmd.info "obs" ~doc)
+    Term.(const action $ file_arg $ expect_arg $ metrics_csv_arg)
 
 let main_cmd =
   let doc = "DieHard (PLDI 2006) reproduction: probabilistic memory safety, simulated" in
   let info = Cmd.info "diehard" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ run_cmd; replicate_cmd; survive_cmd; inject_cmd; check_cmd; diagnose_cmd;
-      trace_cmd; bench_cmd; obs_cmd ]
+    [ run_cmd; replicate_cmd; survive_cmd; replay_cmd; inject_cmd; check_cmd;
+      diagnose_cmd; trace_cmd; bench_cmd; obs_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -113,10 +113,49 @@ let build_heap plan =
    replayed work really happened, and a fault that recurs forever
    converges to [Out_of_fuel] rather than looping. *)
 
+(* Serve-loop SLO telemetry.  All write-only and gated on one enabled
+   check per request when off; when on, the per-request cost is the
+   PR-8 buffered-cell discipline: a domain-id compare and plain adds
+   into a cached {!Dh_obs.Quantile.local} cell, plus two window stamps
+   and (when an SLO is configured) one classification.  The window
+   clock is the request index — windowed request / error / rewind
+   rates are deterministic functions of the run.  Geometry matches the
+   serve.errors window the server itself stamps. *)
+type serve_obs = {
+  so_latency : Dh_obs.Quantile.local;
+  so_requests : Dh_obs.Window.t;
+  so_rewinds : Dh_obs.Window.t;
+  so_slo : Dh_obs.Slo.t option;
+}
+
+let serve_obs () =
+  if not (Dh_obs.Control.enabled ()) then None
+  else
+    Some
+      {
+        so_latency = Dh_obs.Quantile.(local (get "serve.latency_ns"));
+        so_requests = Dh_obs.Window.get "serve.requests" ~width:1024 ~buckets:16;
+        so_rewinds = Dh_obs.Window.get "serve.rewinds" ~width:1024 ~buckets:16;
+        so_slo = Dh_obs.Slo.active ();
+      }
+
 let run_service ctx (svc : Program.service) heap ~interval ~max_rewinds
     ~reseed_of ~checkpoints ~rewinds ~pages_restored =
   let mem = ctx.Program.alloc.Dh_alloc.Allocator.mem in
   let h = svc.Program.init ctx in
+  let obs = serve_obs () in
+  let handle k =
+    match obs with
+    | None -> h.Program.handle k
+    | Some o ->
+      Dh_obs.Recorder.set_step k;
+      let t0 = Dh_obs.Tracing.now_ns () in
+      h.Program.handle k;
+      let dt = Dh_obs.Tracing.now_ns () - t0 in
+      Dh_obs.Quantile.record_local o.so_latency dt;
+      Dh_obs.Window.add o.so_requests ~now:k 1;
+      Option.iter (fun slo -> Dh_obs.Slo.record slo dt) o.so_slo
+  in
   let k = ref 0 in
   while !k < svc.Program.requests do
     let window_start = !k in
@@ -127,7 +166,7 @@ let run_service ctx (svc : Program.service) heap ~interval ~max_rewinds
     incr checkpoints;
     (try
        while !k < window_end do
-         h.handle !k;
+         handle !k;
          incr k
        done
      with Dh_mem.Fault.Error _ when !rewinds < max_rewinds ->
@@ -137,12 +176,19 @@ let run_service ctx (svc : Program.service) heap ~interval ~max_rewinds
        Heap.reseed heap ~seed:(reseed_of !rewinds);
        pages_restored := !pages_restored + report.Dh_mem.Mem.pages_restored;
        incr rewinds;
-       (if Dh_obs.Control.enabled () then
-          Dh_obs.Tracing.instant
-            ~arg:(string_of_int report.Dh_mem.Mem.pages_restored)
-            "supervisor.rewind");
+       (match obs with
+       | None -> ()
+       | Some o ->
+         Dh_obs.Tracing.instant
+           ~arg:(string_of_int report.Dh_mem.Mem.pages_restored)
+           "supervisor.rewind";
+         Dh_obs.Window.add o.so_rewinds ~now:!k 1;
+         (* The faulting request is the SLO's error case: it really did
+            fail to complete on first service. *)
+         Option.iter (fun slo -> Dh_obs.Slo.record slo ~error:true 0) o.so_slo);
        k := window_start)
   done;
+  if Option.is_some obs then Dh_obs.Recorder.clear_step ();
   Dh_mem.Mem.discard_checkpoint mem;
   h.finish ()
 

@@ -199,7 +199,38 @@ let histogram_total h =
     (fun acc cell -> acc + Array.fold_left ( + ) 0 cell.buckets)
     0 (histogram_cells h)
 
-type row = { name : string; kind : string; value : int; detail : string }
+(* Quantile summaries from log2 buckets: the reported value is the upper
+   bound (2^b - 1) of the bucket holding the rank-⌈qN⌉ sample — coarse
+   (a factor of two), but enough for the CSV dump to flag a shifted
+   tail; Quantile holds the fine-grained story. *)
+let histogram_quantile h q =
+  let buckets = histogram_buckets h in
+  let total = Array.fold_left ( + ) 0 buckets in
+  if total = 0 then 0
+  else begin
+    let rank = min total (max 1 (int_of_float (ceil (q *. float_of_int total)))) in
+    let acc = ref 0 and result = ref 0 in
+    (try
+       Array.iteri
+         (fun b n ->
+           acc := !acc + n;
+           if !acc >= rank then begin
+             result := (if b = 0 then 0 else (1 lsl b) - 1);
+             raise Exit
+           end)
+         buckets
+     with Exit -> ());
+    !result
+  end
+
+type row = {
+  name : string;
+  kind : string;
+  value : int;
+  p50 : int option;
+  p99 : int option;
+  detail : string;
+}
 
 let histogram_detail h =
   let buckets = histogram_buckets h in
@@ -220,13 +251,17 @@ let dump t =
     (List.map
        (fun (name, inst) ->
          match inst with
-         | Counter c -> { name; kind = "counter"; value = counter_value c; detail = "" }
-         | Gauge g -> { name; kind = "gauge"; value = gauge_read g; detail = "" }
+         | Counter c ->
+           { name; kind = "counter"; value = counter_value c; p50 = None; p99 = None; detail = "" }
+         | Gauge g ->
+           { name; kind = "gauge"; value = gauge_read g; p50 = None; p99 = None; detail = "" }
          | Histogram h ->
            {
              name;
              kind = "histogram";
              value = histogram_total h;
+             p50 = Some (histogram_quantile h 0.5);
+             p99 = Some (histogram_quantile h 0.99);
              detail = histogram_detail h;
            })
        rows)
@@ -240,12 +275,13 @@ let csv_cell s =
 
 let to_csv t =
   let b = Buffer.create 512 in
-  Buffer.add_string b "name,kind,value,detail\n";
+  Buffer.add_string b "name,kind,value,p50,p99,detail\n";
+  let quantile_cell = function None -> "" | Some v -> string_of_int v in
   List.iter
     (fun r ->
       Buffer.add_string b
-        (Printf.sprintf "%s,%s,%d,%s\n" (csv_cell r.name) r.kind r.value
-           (csv_cell r.detail)))
+        (Printf.sprintf "%s,%s,%d,%s,%s,%s\n" (csv_cell r.name) r.kind r.value
+           (quantile_cell r.p50) (quantile_cell r.p99) (csv_cell r.detail)))
     (dump t);
   Buffer.contents b
 

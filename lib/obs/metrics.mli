@@ -95,12 +95,20 @@ val histogram_total : histogram -> int
 val histogram_buckets : histogram -> int array
 (** Merged per-domain cells. *)
 
+val histogram_quantile : histogram -> float -> int
+(** [histogram_quantile h q] is the upper bound ([2^b - 1]) of the log2
+    bucket holding the rank-[⌈q*N⌉] sample — coarse (within a factor of
+    two), for the CSV dump's p50/p99 columns; use {!Quantile} when the
+    bound matters.  0 on an empty histogram. *)
+
 (** {1 Reading} *)
 
 type row = {
   name : string;
   kind : string;  (** ["counter"], ["gauge"] or ["histogram"]. *)
   value : int;  (** Counter sum, gauge value, or histogram sample count. *)
+  p50 : int option;  (** Histograms: {!histogram_quantile} at 0.5. *)
+  p99 : int option;  (** Histograms: {!histogram_quantile} at 0.99. *)
   detail : string;
       (** Histograms: ["sum=S mean=M buckets=b1:n1;b4:n4"]; empty
           otherwise. *)
@@ -110,7 +118,8 @@ val dump : t -> row list
 (** Snapshot of every instrument, sorted by name. *)
 
 val to_csv : t -> string
-(** The dump as CSV with a ["name,kind,value,detail"] header — the
+(** The dump as CSV with a ["name,kind,value,p50,p99,detail"] header
+    (quantile cells are empty for counters and gauges) — the
     machine-readable twin of the bench report tables. *)
 
 val write_csv : path:string -> t -> unit

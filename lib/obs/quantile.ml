@@ -1,0 +1,176 @@
+(* Two-level bucketing.  A sample's bucket is its value itself while it
+   fits in [2 * 2^fine_bits] (exact), and otherwise is addressed by
+   (exponent, top [fine_bits] mantissa bits): with e the index of the
+   most significant set bit and shift = e - fine_bits,
+
+     index = (e - fine_bits + 1) * 2^fine_bits
+             + ((v lsr shift) land (2^fine_bits - 1))
+
+   which is continuous with the exact range and monotone in v.  Every
+   bucket at shift s spans 2^s values starting at a multiple >= 2^fine_bits
+   of 2^s, so the span is at most lo / 2^fine_bits — the relative error
+   bound quantile extraction inherits. *)
+
+let fine_bits = 5
+let fine = 1 lsl fine_bits (* 32 *)
+let exact_limit = 2 * fine (* values below this are their own bucket *)
+
+(* max_int has 62 significant bits: e = 61, block = e - fine_bits + 1 = 57,
+   so the last block is 57 and the count is 58 blocks of [fine] buckets. *)
+let bucket_count = 58 * fine
+
+let bits_of v =
+  let rec go bits v = if v = 0 then bits else go (bits + 1) (v lsr 1) in
+  go 0 v
+
+let bucket_of v =
+  if v < 0 then invalid_arg "Quantile.bucket_of: negative sample";
+  if v < exact_limit then v
+  else
+    let e = bits_of v - 1 in
+    let shift = e - fine_bits in
+    ((e - fine_bits + 1) * fine) + ((v lsr shift) land (fine - 1))
+
+let bucket_bounds i =
+  if i < 0 || i >= bucket_count then invalid_arg "Quantile.bucket_bounds";
+  if i < exact_limit then (i, i)
+  else
+    let block = i / fine and m = i mod fine in
+    let shift = block - 1 in
+    let lo = (fine + m) lsl shift in
+    (lo, lo + (1 lsl shift) - 1)
+
+(* --- sharded cells, following the Metrics discipline --- *)
+
+type cell = { counts : int array; mutable c_sum : int; mutable c_total : int }
+
+type t = {
+  id : int;
+  cells_lock : Mutex.t;
+  mutable cells : cell list; (* one per domain that ever recorded *)
+}
+
+let next_id = Atomic.make 0
+
+let create () =
+  { id = Atomic.fetch_and_add next_id 1; cells_lock = Mutex.create (); cells = [] }
+
+let fresh_cell () = { counts = Array.make bucket_count 0; c_sum = 0; c_total = 0 }
+
+let memo : (int, cell) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let local_cell q =
+  let memo = Domain.DLS.get memo in
+  match Hashtbl.find_opt memo q.id with
+  | Some cell -> cell
+  | None ->
+    let cell = fresh_cell () in
+    Mutex.protect q.cells_lock (fun () -> q.cells <- cell :: q.cells);
+    Hashtbl.add memo q.id cell;
+    cell
+
+let record_cell cell v =
+  let b = bucket_of v in
+  cell.counts.(b) <- cell.counts.(b) + 1;
+  cell.c_sum <- cell.c_sum + v;
+  cell.c_total <- cell.c_total + 1
+
+let record q v = if Control.enabled () then record_cell (local_cell q) v
+
+type local = { lq : t; mutable lq_owner : int; mutable lq_cell : cell }
+
+let local q = { lq = q; lq_owner = -1; lq_cell = fresh_cell () }
+
+let record_local l v =
+  if Control.enabled () then begin
+    let me = (Domain.self () :> int) in
+    if l.lq_owner <> me then begin
+      l.lq_cell <- local_cell l.lq;
+      l.lq_owner <- me
+    end;
+    record_cell l.lq_cell v
+  end
+
+(* --- registry --- *)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+let registry_lock = Mutex.create ()
+
+let get name =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some q -> q
+      | None ->
+        let q = create () in
+        Hashtbl.replace registry name q;
+        q)
+
+let registered () =
+  List.sort compare
+    (Mutex.protect registry_lock (fun () ->
+         Hashtbl.fold (fun name q acc -> (name, q) :: acc) registry []))
+
+let reset () = Mutex.protect registry_lock (fun () -> Hashtbl.reset registry)
+
+(* --- snapshots --- *)
+
+type snapshot = { s_counts : int array; s_sum : int; s_total : int }
+
+let empty = { s_counts = Array.make bucket_count 0; s_sum = 0; s_total = 0 }
+
+let snapshot q =
+  let cells = Mutex.protect q.cells_lock (fun () -> q.cells) in
+  let counts = Array.make bucket_count 0 in
+  let sum = ref 0 and total = ref 0 in
+  List.iter
+    (fun cell ->
+      Array.iteri (fun i n -> counts.(i) <- counts.(i) + n) cell.counts;
+      sum := !sum + cell.c_sum;
+      total := !total + cell.c_total)
+    cells;
+  { s_counts = counts; s_sum = !sum; s_total = !total }
+
+let merge a b =
+  {
+    s_counts = Array.init bucket_count (fun i -> a.s_counts.(i) + b.s_counts.(i));
+    s_sum = a.s_sum + b.s_sum;
+    s_total = a.s_total + b.s_total;
+  }
+
+let count s = s.s_total
+let sum s = s.s_sum
+
+let mean s = if s.s_total = 0 then 0. else float_of_int s.s_sum /. float_of_int s.s_total
+
+let quantile s q =
+  if s.s_total = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int s.s_total)) in
+      min s.s_total (max 1 r)
+    in
+    let acc = ref 0 and result = ref 0 in
+    (try
+       Array.iteri
+         (fun i n ->
+           acc := !acc + n;
+           if !acc >= rank then begin
+             result := snd (bucket_bounds i);
+             raise Exit
+           end)
+         s.s_counts
+     with Exit -> ());
+    !result
+  end
+
+let max_value s =
+  let result = ref 0 in
+  Array.iteri (fun i n -> if n > 0 then result := snd (bucket_bounds i)) s.s_counts;
+  !result
+
+let pp ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.1f p50=%d p90=%d p99=%d p99.9=%d max=%d"
+    (count s) (mean s) (quantile s 0.5) (quantile s 0.9) (quantile s 0.99)
+    (quantile s 0.999) (max_value s)

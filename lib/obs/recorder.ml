@@ -4,6 +4,7 @@ type report = {
   seq : int;
   at_us : int;
   reason : string;
+  step : int option;
   events : Tracing.event list;
   metrics : Metrics.row list;
   sections : section list;
@@ -41,14 +42,31 @@ let run_provider (name, f) =
   in
   { title = name; body }
 
-let trigger ?(sections = []) ~reason () =
+(* The advertised step: a step-structured loop (the supervisor's serve
+   loop) stores its request index here so captures fired deep inside a
+   handler — the Mem fault path — land with the cursor position filled
+   in.  -1 = no step-structured execution active. *)
+let current_step = Atomic.make (-1)
+
+let set_step k = Atomic.set current_step k
+let clear_step () = Atomic.set current_step (-1)
+
+let trigger ?(sections = []) ?step ~reason () =
   if Control.enabled () then begin
+    let step =
+      match step with
+      | Some _ -> step
+      | None ->
+        let s = Atomic.get current_step in
+        if s >= 0 then Some s else None
+    in
     let provided = Mutex.protect lock (fun () -> List.rev !providers) in
     let report =
       {
         seq = 0;  (* seq and at_us are patched under the lock below *)
         at_us = 0;
         reason;
+        step;
         events = Tracing.last_events window;
         metrics = Metrics.dump Metrics.default;
         sections = sections @ List.map run_provider provided;
@@ -83,8 +101,52 @@ let clear () =
       queue := [];
       providers := [])
 
+(* --- the step cursor ---
+
+   Step-structured executions (the supervisor's serve loop, the replay
+   viewer) bracket each request in a marker span, so a report's event
+   window factors into per-step groups: everything from one marker's
+   Begin up to (excluding) the next marker's Begin.  The cursor walks
+   those groups forwards — the flight recorder's window, replayed one
+   step at a time. *)
+
+let default_step_marker = "replay.step"
+
+type step_group = { step_arg : string; step_events : Tracing.event list }
+
+let step_groups ?(marker = default_step_marker) r =
+  let flush arg acc groups =
+    if arg = None && acc = [] then groups
+    else
+      { step_arg = Option.value arg ~default:""; step_events = List.rev acc }
+      :: groups
+  in
+  let rec go arg acc groups = function
+    | [] -> List.rev (flush arg acc groups)
+    | (e : Tracing.event) :: rest ->
+      if e.Tracing.phase = Tracing.Begin && e.Tracing.name = marker then
+        go (Some e.Tracing.arg) [ e ] (flush arg acc groups) rest
+      else go arg (e :: acc) groups rest
+  in
+  go None [] [] r.events
+
+type cursor = { mutable remaining : step_group list }
+
+let cursor ?marker r = { remaining = step_groups ?marker r }
+
+let next c =
+  match c.remaining with
+  | [] -> None
+  | g :: rest ->
+    c.remaining <- rest;
+    Some g
+
 let pp_report ppf r =
-  Format.fprintf ppf "flight record #%d at %d us: %s@." r.seq r.at_us r.reason;
+  Format.fprintf ppf "flight record #%d at %d us: %s%t@." r.seq r.at_us r.reason
+    (fun ppf ->
+      match r.step with
+      | Some k -> Format.fprintf ppf " (step %d)" k
+      | None -> ());
   if r.events <> [] then begin
     Format.fprintf ppf "  last %d trace events:@." (List.length r.events);
     List.iter (fun e -> Format.fprintf ppf "    %a@." Tracing.pp_event e) r.events

@@ -16,6 +16,10 @@ type report = {
   seq : int;  (** Capture sequence number (process-wide). *)
   at_us : int;  (** Tracing-clock timestamp of the capture. *)
   reason : string;
+  step : int option;
+      (** For step-structured executions (the serve loop, the replay
+          viewer): the request index being handled when the capture
+          fired — the cursor position time-travel replay walks back to. *)
   events : Tracing.event list;  (** The last {!window} trace events. *)
   metrics : Metrics.row list;  (** Snapshot of {!Metrics.default}. *)
   sections : section list;
@@ -38,8 +42,48 @@ val register_context : string -> (unit -> string) -> unit
 
 val unregister_context : string -> unit
 
-val trigger : ?sections:section list -> reason:string -> unit -> unit
-(** Capture a report now.  No-op when observability is disabled. *)
+val trigger : ?sections:section list -> ?step:int -> reason:string -> unit -> unit
+(** Capture a report now.  No-op when observability is disabled.  When
+    [step] is omitted the advertised step (below), if any, fills it in. *)
+
+val set_step : int -> unit
+(** Advertise the step a step-structured loop is currently executing, so
+    captures fired deep inside the handler (the [Mem] fault path) carry
+    the cursor position without plumbing.  Cleared by {!clear_step};
+    serve loops advertise only while observability is enabled. *)
+
+val clear_step : unit -> unit
+
+(** {1 The step cursor}
+
+    When the captured window came from a step-structured execution whose
+    steps are bracketed in marker spans (the replay viewer brackets each
+    re-executed request in a ["replay.step"] span), the window factors
+    into per-step groups that can be walked forwards — the
+    time-travel-replay view of the flight record. *)
+
+val default_step_marker : string
+(** ["replay.step"]. *)
+
+type step_group = {
+  step_arg : string;
+      (** The marker's argument (the replayed request index), [""] for
+          the preamble group of events before the first marker. *)
+  step_events : Tracing.event list;
+      (** The marker's [Begin] and everything up to the next marker. *)
+}
+
+val step_groups : ?marker:string -> report -> step_group list
+(** Split the report's event window at [Begin] events named [marker]
+    (default {!default_step_marker}).  Events before the first marker
+    form a leading group with [step_arg = ""] (omitted when empty). *)
+
+type cursor
+
+val cursor : ?marker:string -> report -> cursor
+(** A forward cursor over {!step_groups}. *)
+
+val next : cursor -> step_group option
 
 val reports : unit -> report list  (** Oldest first. *)
 

@@ -10,6 +10,7 @@ let ring_capacity = 4096
    odd equal stamp. *)
 let epoch = Unix.gettimeofday ()
 let now_us () = int_of_float ((Unix.gettimeofday () -. epoch) *. 1e6)
+let now_ns () = int_of_float ((Unix.gettimeofday () -. epoch) *. 1e9)
 
 type ring = {
   dom : int;

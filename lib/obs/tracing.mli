@@ -25,6 +25,15 @@ type event = {
 val ring_capacity : int
 (** Events retained per domain (the oldest are overwritten). *)
 
+val now_us : unit -> int
+(** The tracing clock: microseconds since the process started tracing —
+    the timestamps events carry. *)
+
+val now_ns : unit -> int
+(** The same clock in nanoseconds, for latency samples too short for
+    microsecond resolution (granularity is whatever the platform's
+    [gettimeofday] delivers). *)
+
 val begin_ : ?arg:string -> string -> unit
 val end_ : string -> unit
 val instant : ?arg:string -> string -> unit

@@ -68,11 +68,11 @@ let zipf_cdf ~n ~s =
     Hashtbl.add memo (n, s) cdf;
     cdf
 
-let zipf rng ~n ~s =
-  if n < 1 then invalid_arg "Dist.zipf: want n >= 1";
-  if s < 0. then invalid_arg "Dist.zipf: want s >= 0";
+let zipf_rank ~n ~s ~u =
+  if n < 1 then invalid_arg "Dist.zipf_rank: want n >= 1";
+  if s < 0. then invalid_arg "Dist.zipf_rank: want s >= 0";
+  if u < 0. || u >= 1. then invalid_arg "Dist.zipf_rank: want u in [0, 1)";
   let cdf = zipf_cdf ~n ~s in
-  let u = Mwc.float01 rng in
   (* Binary search for the first index whose CDF exceeds u. *)
   let rec search lo hi =
     if lo >= hi then lo + 1
@@ -81,6 +81,8 @@ let zipf rng ~n ~s =
       if cdf.(mid) > u then search lo mid else search (mid + 1) hi
   in
   search 0 (n - 1)
+
+let zipf rng ~n ~s = zipf_rank ~n ~s ~u:(Mwc.float01 rng)
 
 let weighted rng ~weights =
   let total = Array.fold_left ( +. ) 0. weights in

@@ -20,6 +20,14 @@ val zipf : Mwc.t -> n:int -> s:float -> int
     [(n, s)] pairs, so the cache stays small).  Requires [n >= 1] and
     [s >= 0]. *)
 
+val zipf_rank : n:int -> s:float -> u:float -> int
+(** The pure inversion under {!zipf}: the rank in [\[1, n\]] whose CDF
+    interval contains [u] in [\[0, 1)].  Consumers that derive their own
+    uniform variates — the serve workload hashes the request index so a
+    rewound window replays identical requests — invert through here and
+    share the CDF cache.  [zipf rng ~n ~s = zipf_rank ~n ~s
+    ~u:(Mwc.float01 rng)]. *)
+
 val weighted : Mwc.t -> weights:float array -> int
 (** Index sampled proportionally to [weights] (all non-negative, not all
     zero). *)

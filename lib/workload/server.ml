@@ -24,10 +24,23 @@ let mix k =
   let h = (h lxor (h lsr 16)) * 0x85EBCA6B in
   (h lxor (h lsr 13)) land 0x3FFFFFFF
 
-let key_of k = mix k land (key_space - 1)
+(* Key choice stays a pure function of [k] even under a skewed
+   distribution: the uniform variate is the request hash itself (30
+   bits), inverted through the shared Zipf CDF cache.  No RNG state is
+   consumed, so rewound windows and reseeded retries replay the exact
+   same key sequence. *)
+let key_of ?zipf k =
+  match zipf with
+  | None -> mix k land (key_space - 1)
+  | Some s ->
+    Dh_rng.Dist.zipf_rank ~n:key_space ~s
+      ~u:(float_of_int (mix k) /. 1073741824.)
+    - 1
 
-let url_of ~attack_len k =
-  let base = Printf.sprintf "http://h%03x.example/%d" (key_of k) (mix (k + 1) land 0xFFF) in
+let url_of ?zipf ~attack_len k =
+  let base =
+    Printf.sprintf "http://h%03x.example/%d" (key_of ?zipf k) (mix (k + 1) land 0xFFF)
+  in
   match attack_len with
   | None -> base
   | Some len when len > String.length base ->
@@ -43,7 +56,7 @@ let c_failed = 16
 let c_checksum = 24
 let counters_size = 32
 
-let service ~requests ?(attack_every = 0) ?(attack_len = 3000) () =
+let service ~requests ?(attack_every = 0) ?(attack_len = 3000) ?zipf () =
   let init ctx =
     let a = ctx.Program.alloc in
     let mem = a.Allocator.mem in
@@ -59,6 +72,18 @@ let service ~requests ?(attack_every = 0) ?(attack_len = 3000) () =
     let bump off v =
       Mem.write64 mem (counters + off) (Mem.read64 mem (counters + off) + v)
     in
+    (* A failed request bumps the in-memory counter (part of the output
+       checksum, rewound with the heap) and, as write-only telemetry, the
+       windowed error rate clocked by the request index — the only layer
+       that sees per-request failures is this one.  Geometry matches the
+       supervisor's serve.requests / serve.rewinds windows. *)
+    let fail k off =
+      bump off 1;
+      if Dh_obs.Control.enabled () then
+        Dh_obs.Window.add
+          (Dh_obs.Window.get "serve.errors" ~width:1024 ~buckets:16)
+          ~now:k 1
+    in
     (* The unchecked strcpy of Squid 2.3s5: bytewise, no bounds test, into
        a fixed 64-byte title buffer.  A well-formed URL fits; an overlong
        one writes on past the end of the slot. *)
@@ -71,8 +96,8 @@ let service ~requests ?(attack_every = 0) ?(attack_len = 3000) () =
     let handle k =
       Process.Fuel.burn ctx.Program.fuel;
       let attack = attack_every > 0 && k > 0 && k mod attack_every = attack_every - 1 in
-      let url = url_of ~attack_len:(if attack then Some attack_len else None) k in
-      let key = key_of k in
+      let url = url_of ?zipf ~attack_len:(if attack then Some attack_len else None) k in
+      let key = key_of ?zipf k in
       let bucket = table + (key land (bucket_count - 1)) * 8 in
       let rec find node depth =
         if node = 0 then (None, depth)
@@ -128,10 +153,10 @@ let service ~requests ?(attack_every = 0) ?(attack_len = 3000) () =
             0
           | (Some p, None | None, Some p) ->
             a.Allocator.free p;
-            bump c_failed 1;
+            fail k c_failed;
             0
           | None, None ->
-            bump c_failed 1;
+            fail k c_failed;
             0)
       in
       (* format the response title — the crash site *)
@@ -139,7 +164,7 @@ let service ~requests ?(attack_every = 0) ?(attack_len = 3000) () =
       | Some title ->
         strcpy title url;
         a.Allocator.free title
-      | None -> bump c_failed 1);
+      | None -> fail k c_failed);
       (* fold the request into the running checksum: content-derived
          (keys, hit history, the threshold-deterministic failure count) —
          never addresses, so every seed and every rewind agrees *)
@@ -166,8 +191,9 @@ let service ~requests ?(attack_every = 0) ?(attack_len = 3000) () =
   in
   { Program.requests; init }
 
-let program ?(requests = 4096) ?(attack_every = 0) ?(attack_len = 3000) () =
-  Program.of_service ~name:"server" (service ~requests ~attack_every ~attack_len ())
+let program ?(requests = 4096) ?(attack_every = 0) ?(attack_len = 3000) ?zipf () =
+  Program.of_service ~name:"server"
+    (service ~requests ~attack_every ~attack_len ?zipf ())
 
 let heap_size =
   (* 64 KiB per size-class region: the 64 B title region spans 16 pages,

@@ -23,15 +23,20 @@
     never-faulted run prints. *)
 
 val service :
-  requests:int -> ?attack_every:int -> ?attack_len:int -> unit ->
-  Dh_alloc.Program.service
+  requests:int -> ?attack_every:int -> ?attack_len:int -> ?zipf:float ->
+  unit -> Dh_alloc.Program.service
 (** [attack_every] defaults to 0 (no attacks); [attack_len] to 3000
     bytes — long enough to reach the hole page from the last ~4.5% of
-    title slots under {!heap_size}. *)
+    title slots under {!heap_size}.  [zipf] skews the key popularity to a
+    Zipf([zipf]) distribution over the key space (real cache traffic is
+    heavy-headed); keys stay a pure function of the request index — the
+    uniform variate is the request hash, inverted through
+    {!Dh_rng.Dist.zipf_rank} — so the rewind-determinism contract is
+    unchanged.  Omitted = uniform keys, byte-identical to before. *)
 
 val program :
-  ?requests:int -> ?attack_every:int -> ?attack_len:int -> unit ->
-  Dh_alloc.Program.t
+  ?requests:int -> ?attack_every:int -> ?attack_len:int -> ?zipf:float ->
+  unit -> Dh_alloc.Program.t
 (** {!service} wrapped via {!Dh_alloc.Program.of_service} (4096 requests
     by default), so plain runs and checkpointed runs execute the same
     steps. *)

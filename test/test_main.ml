@@ -6,6 +6,7 @@ let () =
       ("rng", Test_rng.suite);
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
+      ("slo-obs", Test_slo_obs.suite);
       ("simmem", Test_mem.suite);
       ("bulk", Test_bulk.suite);
       ("alloc-base", Test_alloc_base.suite);

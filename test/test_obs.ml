@@ -134,16 +134,44 @@ let test_csv_dump () =
   with_clean @@ fun () ->
   let c = Metrics.counter Metrics.default "test.csv.counter" in
   Metrics.add c 3;
+  let h = Metrics.histogram Metrics.default "test.csv.histogram" in
+  List.iter (Metrics.observe h) [ 1; 2; 3; 4; 100 ];
   let csv = Metrics.to_csv Metrics.default in
   let lines = String.split_on_char '\n' (String.trim csv) in
   (match lines with
-  | header :: _ -> check_str "header" "name,kind,value,detail" header
+  | header :: _ -> check_str "header" "name,kind,value,p50,p99,detail" header
   | [] -> Alcotest.fail "empty csv");
   check "counter row present" true
     (List.exists
        (fun l ->
          String.length l >= 22 && String.sub l 0 22 = "test.csv.counter,count")
-       lines)
+       lines);
+  (* Counters leave the quantile cells empty; histograms fill both. *)
+  List.iter
+    (fun l ->
+      match String.split_on_char ',' l with
+      | [ "test.csv.counter"; _; _; p50; p99; _ ] ->
+        check_str "counter p50 empty" "" p50;
+        check_str "counter p99 empty" "" p99
+      | [ "test.csv.histogram"; _; _; p50; p99; _ ] ->
+        check "histogram p50 integer" true (int_of_string_opt p50 <> None);
+        check "histogram p99 integer" true (int_of_string_opt p99 <> None)
+      | _ -> ())
+    lines
+
+let test_histogram_quantile () =
+  with_clean @@ fun () ->
+  let h = Metrics.histogram Metrics.default "test.hq" in
+  (* 10 samples in bucket of 1 (upper bound 1), one in bucket of 100
+     (log2 bucket 6, upper bound 127). *)
+  for _ = 1 to 10 do
+    Metrics.observe h 1
+  done;
+  Metrics.observe h 100;
+  check_int "p50 = small bucket bound" 1 (Metrics.histogram_quantile h 0.5);
+  check_int "p99 lands in the top bucket" 127 (Metrics.histogram_quantile h 0.99);
+  let empty = Metrics.histogram Metrics.default "test.hq.empty" in
+  check_int "empty histogram quantile 0" 0 (Metrics.histogram_quantile empty 0.5)
 
 (* --- tracing -------------------------------------------------------- *)
 
@@ -312,6 +340,7 @@ let suite =
     Alcotest.test_case "gauges and callbacks" `Quick test_gauges;
     Alcotest.test_case "instrument kind mismatch" `Quick test_kind_mismatch;
     Alcotest.test_case "metrics csv dump" `Quick test_csv_dump;
+    Alcotest.test_case "metrics histogram quantile" `Quick test_histogram_quantile;
     Alcotest.test_case "trace ring wraps" `Quick test_ring_wrap;
     Alcotest.test_case "span is exception-safe" `Quick test_span_exception_safe;
     Alcotest.test_case "chrome trace json" `Quick test_chrome_json;

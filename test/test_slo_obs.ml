@@ -1,0 +1,426 @@
+(* Tests for the serve-loop SLO observability stack: Quantile's
+   two-level bucketing against a sorted-array oracle, shard merging
+   under real domains, Window rotation across clock jumps, the SLO
+   budget arithmetic at its edges, the flight recorder's step cursor,
+   and the supervisor's serve telemetry (including that it stays
+   write-only: output is identical with observability on or off). *)
+
+module Control = Dh_obs.Control
+module Quantile = Dh_obs.Quantile
+module Window = Dh_obs.Window
+module Slo = Dh_obs.Slo
+module Tracing = Dh_obs.Tracing
+module Recorder = Dh_obs.Recorder
+module Supervisor = Diehard.Supervisor
+module Server = Dh_workload.Server
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let wipe () =
+  Quantile.reset ();
+  Window.reset ();
+  Slo.deactivate ();
+  Dh_obs.Metrics.reset Dh_obs.Metrics.default;
+  Tracing.reset ();
+  Recorder.clear ()
+
+let with_clean f =
+  Control.with_enabled true (fun () ->
+      wipe ();
+      Fun.protect ~finally:wipe f)
+
+(* --- Quantile bucketing --------------------------------------------- *)
+
+let fine = 1 lsl Quantile.fine_bits
+let exact_limit = 2 * fine
+
+let test_bucket_exact_below_limit () =
+  for v = 0 to exact_limit - 1 do
+    check_int (Printf.sprintf "bucket_of %d exact" v) v (Quantile.bucket_of v);
+    let lo, hi = Quantile.bucket_bounds v in
+    check_int "lo exact" v lo;
+    check_int "hi exact" v hi
+  done
+
+let test_bucket_continuity () =
+  (* Consecutive buckets tile the integers with no gap and no overlap,
+     up to the bucket holding max_int. *)
+  let top = Quantile.bucket_of max_int in
+  for i = 0 to top - 1 do
+    let _, hi = Quantile.bucket_bounds i in
+    let lo', _ = Quantile.bucket_bounds (i + 1) in
+    check_int (Printf.sprintf "bucket %d..%d contiguous" i (i + 1)) (hi + 1) lo'
+  done;
+  check "max_int in range" true (top < Quantile.bucket_count);
+  let lo, hi = Quantile.bucket_bounds top in
+  check "max_int inside its bucket" true (lo <= max_int && max_int <= hi)
+
+let prop_bucket_roundtrip =
+  QCheck.Test.make ~name:"quantile: v lies inside bucket_bounds (bucket_of v)"
+    ~count:1000
+    (QCheck.make
+       QCheck.Gen.(
+         oneof
+           [ int_bound (exact_limit * 4); int_bound 1_000_000;
+             map abs (int_range 0 max_int) ]))
+    (fun v ->
+      let b = Quantile.bucket_of v in
+      let lo, hi = Quantile.bucket_bounds b in
+      lo <= v && v <= hi
+      (* the error bound the mli promises *)
+      && hi - lo <= (lo / fine) + 1
+      (* monotone at the sample's neighbours *)
+      && (v = 0 || Quantile.bucket_of (v - 1) <= b)
+      && (v = max_int || b <= Quantile.bucket_of (v + 1)))
+
+(* The oracle: the reported quantile is the upper bound of the bucket
+   holding the exact rank-⌈qN⌉ order statistic — never below it, and
+   within the relative-error bound above it. *)
+let prop_quantile_vs_sorted_oracle =
+  QCheck.Test.make ~name:"quantile: matches sorted-array oracle within bounds"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 1 200)
+              (oneof [ int_bound 50; int_bound 5000; int_bound 1_000_000 ]))
+           (float_bound_inclusive 1.0)))
+    (fun (samples, q) ->
+      Control.with_enabled true (fun () ->
+          let t = Quantile.create () in
+          List.iter (Quantile.record t) samples;
+          let s = Quantile.snapshot t in
+          let sorted = List.sort compare samples in
+          let n = List.length sorted in
+          let rank =
+            min n (max 1 (int_of_float (ceil (q *. float_of_int n))))
+          in
+          let exact = List.nth sorted (rank - 1) in
+          let reported = Quantile.quantile s q in
+          reported = snd (Quantile.bucket_bounds (Quantile.bucket_of exact))
+          && reported >= exact
+          && reported <= exact + (exact / fine) + 1
+          && (exact >= exact_limit || reported = exact)))
+
+let test_snapshot_arithmetic () =
+  with_clean @@ fun () ->
+  let t = Quantile.create () in
+  List.iter (Quantile.record t) [ 5; 10; 15 ];
+  let s = Quantile.snapshot t in
+  check_int "count" 3 (Quantile.count s);
+  check_int "sum" 30 (Quantile.sum s);
+  check "mean" true (abs_float (Quantile.mean s -. 10.) < 1e-9);
+  check_int "max_value exact below limit" 15 (Quantile.max_value s);
+  check_int "empty quantile" 0 (Quantile.quantile Quantile.empty 0.5);
+  (match Quantile.record t (-1) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative sample accepted")
+
+let test_shard_merge_under_domains () =
+  with_clean @@ fun () ->
+  let t = Quantile.get "test.sharded" in
+  (* Four domains record disjoint slices concurrently; the merged
+     snapshot must equal a single-domain recording of the whole set. *)
+  let slice d = List.init 500 (fun i -> (d * 10_000) + (i * 7)) in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            Control.with_enabled true (fun () ->
+                let local = Quantile.local t in
+                List.iter (Quantile.record_local local) (slice d))))
+  in
+  List.iter Domain.join domains;
+  let merged = Quantile.snapshot t in
+  let oracle = Quantile.create () in
+  List.iter (fun d -> List.iter (Quantile.record oracle) (slice d)) [ 0; 1; 2; 3 ];
+  let expect = Quantile.snapshot oracle in
+  check_int "merged count" (Quantile.count expect) (Quantile.count merged);
+  check_int "merged sum" (Quantile.sum expect) (Quantile.sum merged);
+  List.iter
+    (fun q ->
+      check_int
+        (Printf.sprintf "merged p%g" (q *. 100.))
+        (Quantile.quantile expect q) (Quantile.quantile merged q))
+    [ 0.5; 0.9; 0.99; 0.999 ];
+  (* merging snapshots by hand agrees too *)
+  let remerged = Quantile.merge merged Quantile.empty in
+  check_int "merge with empty is identity" (Quantile.count merged)
+    (Quantile.count remerged)
+
+(* --- Window rotation ------------------------------------------------- *)
+
+let test_window_basics () =
+  with_clean @@ fun () ->
+  let w = Window.create ~width:10 ~buckets:4 in
+  check_int "span" 40 (Window.span w);
+  Window.add w ~now:0 3;
+  Window.add w ~now:9 2;
+  Window.add w ~now:10 5;
+  check_int "two buckets so far" 10 (Window.total w ~now:10);
+  (* early-run rate uses elapsed ticks, not the full span *)
+  check "early rate" true
+    (abs_float (Window.rate w ~now:10 -. (10. /. 11.)) < 1e-9);
+  (match Window.add w ~now:(-1) 1 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative clock accepted")
+
+let test_window_rotation_and_jumps () =
+  with_clean @@ fun () ->
+  let w = Window.create ~width:10 ~buckets:4 in
+  Window.add w ~now:0 100;
+  (* jump far past the whole window: the old bucket must age out by
+     stamp comparison, with no catch-up loop and no stale count *)
+  Window.add w ~now:1000 7;
+  check_int "stale bucket aged out" 7 (Window.total w ~now:1000);
+  (* a write that predates the trailing window is dropped *)
+  Window.add w ~now:500 9;
+  check_int "late write dropped" 7 (Window.total w ~now:1000);
+  (* sliding off: the t=1000 bucket leaves the window at t=1040 *)
+  check_int "still in window" 7 (Window.total w ~now:1039);
+  check_int "slid out" 0 (Window.total w ~now:1040);
+  (* refill around the ring: only the last [buckets] buckets count *)
+  for b = 0 to 9 do
+    Window.add w ~now:(2000 + (b * 10)) 1
+  done;
+  check_int "ring keeps exactly the trailing buckets" 4 (Window.total w ~now:2090)
+
+let test_window_registry () =
+  with_clean @@ fun () ->
+  let w = Window.get "test.win" ~width:10 ~buckets:4 in
+  check "same instance" true (Window.get "test.win" ~width:10 ~buckets:4 == w);
+  check "find sees it" true (Window.find "test.win" = Some w);
+  check "find misses" true (Window.find "test.win.other" = None);
+  (match Window.get "test.win" ~width:5 ~buckets:4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "geometry mismatch accepted")
+
+let test_window_disabled_noop () =
+  with_clean @@ fun () ->
+  let w = Window.create ~width:10 ~buckets:4 in
+  Control.with_enabled false (fun () -> Window.add w ~now:0 5);
+  check_int "disabled add dropped" 0 (Window.total w ~now:0)
+
+(* --- SLO arithmetic -------------------------------------------------- *)
+
+let test_slo_zero_requests () =
+  with_clean @@ fun () ->
+  let t = Slo.create ~target:100 ~budget:0.1 () in
+  let r = Slo.report t in
+  check_int "no requests" 0 r.Slo.total;
+  check "compliance 1.0" true (r.Slo.compliance = 1.0);
+  check "budget unused" true (r.Slo.budget_used = 0.0);
+  check "not breached" true (not r.Slo.breached)
+
+let test_slo_all_errors () =
+  with_clean @@ fun () ->
+  let t = Slo.create ~target:100 ~budget:0.25 () in
+  for _ = 1 to 8 do
+    Slo.record t ~error:true 0
+  done;
+  let r = Slo.report t in
+  check_int "all bad" 8 r.Slo.bad;
+  check "compliance 0" true (r.Slo.compliance = 0.0);
+  (* bad fraction 1.0 over a 0.25 budget: 4x the budget *)
+  check "budget_used = 1/budget" true (abs_float (r.Slo.budget_used -. 4.0) < 1e-9);
+  check "breached" true r.Slo.breached;
+  (* both burn thresholds fired exactly once each *)
+  let burns =
+    List.filter
+      (fun (e : Tracing.event) -> e.Tracing.name = "slo.budget_burn")
+      (Tracing.events ())
+  in
+  check_int "one instant per threshold" 2 (List.length burns)
+
+let test_slo_latency_classification () =
+  with_clean @@ fun () ->
+  let t = Slo.create ~target:100 ~budget:0.5 () in
+  Slo.record t 100;
+  (* at target: good *)
+  Slo.record t 101;
+  (* over target: bad *)
+  Slo.record t 1;
+  let r = Slo.report t in
+  check_int "one bad" 1 r.Slo.bad;
+  check_int "three total" 3 r.Slo.total;
+  check "not breached at 2/3 of budget" true (not r.Slo.breached)
+
+let test_slo_validation_and_active () =
+  with_clean @@ fun () ->
+  (match Slo.create ~target:100 ~budget:0.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero budget accepted");
+  (match Slo.create ~target:100 ~budget:1.5 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "budget > 1 accepted");
+  (match Slo.create ~target:(-1) ~budget:0.5 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative target accepted");
+  check "no active slo" true (Slo.active () = None);
+  let t = Slo.configure ~name:"x" ~target:10 ~budget:0.5 () in
+  check "active is the configured one" true (Slo.active () = Some t);
+  Slo.deactivate ();
+  check "deactivated" true (Slo.active () = None)
+
+let test_slo_disabled_noop () =
+  with_clean @@ fun () ->
+  let t = Slo.create ~target:100 ~budget:0.5 () in
+  Control.with_enabled false (fun () -> Slo.record t ~error:true 1000);
+  check_int "disabled record dropped" 0 (Slo.report t).Slo.total
+
+(* --- Recorder step cursor ------------------------------------------- *)
+
+let test_step_cursor () =
+  with_clean @@ fun () ->
+  Tracing.instant ~arg:"before" "setup";
+  List.iter
+    (fun k ->
+      Tracing.span ~arg:(string_of_int k) "replay.step" (fun () ->
+          Tracing.instant ~arg:("work" ^ string_of_int k) "handler"))
+    [ 7; 8; 9 ];
+  Recorder.trigger ~step:9 ~reason:"test" ();
+  match Recorder.last () with
+  | None -> Alcotest.fail "no report"
+  | Some r ->
+    check "step recorded" true (r.Recorder.step = Some 9);
+    let groups = Recorder.step_groups r in
+    check_int "preamble + 3 steps" 4 (List.length groups);
+    (match groups with
+    | pre :: steps ->
+      check_str "preamble arg" "" pre.Recorder.step_arg;
+      List.iteri
+        (fun i g ->
+          check_str
+            (Printf.sprintf "step group %d" i)
+            (string_of_int (7 + i))
+            g.Recorder.step_arg;
+          (* Begin, the handler instant, End *)
+          check_int "events per step" 3 (List.length g.Recorder.step_events))
+        steps
+    | [] -> Alcotest.fail "no groups");
+    (* the cursor walks the same groups, then dries up *)
+    let c = Recorder.cursor r in
+    let rec drain acc =
+      match Recorder.next c with None -> List.rev acc | Some g -> drain (g :: acc)
+    in
+    check_int "cursor yields all groups" 4 (List.length (drain []));
+    check "cursor exhausted" true (Recorder.next c = None)
+
+let test_advertised_step () =
+  with_clean @@ fun () ->
+  Recorder.set_step 42;
+  Recorder.trigger ~reason:"implicit step" ();
+  (match Recorder.last () with
+  | Some r -> check "advertised step filled in" true (r.Recorder.step = Some 42)
+  | None -> Alcotest.fail "no report");
+  Recorder.clear_step ();
+  Recorder.trigger ~reason:"no step" ();
+  match Recorder.last () with
+  | Some r -> check "cleared step absent" true (r.Recorder.step = None)
+  | None -> Alcotest.fail "no report"
+
+(* --- the supervisor's serve telemetry -------------------------------- *)
+
+let serve_incident ~obs () =
+  let policy =
+    {
+      Supervisor.default_policy with
+      Supervisor.checkpoint_interval = 64;
+      max_rewinds = 32;
+    }
+  in
+  Supervisor.run ~policy
+    ~config:(Diehard.Config.v ~heap_size:Server.heap_size ~obs ())
+    ~seed_pool:(Dh_rng.Seed.create ~master:5)
+    (Server.program ~requests:512 ~attack_every:48 ())
+
+let test_serve_telemetry () =
+  with_clean @@ fun () ->
+  let slo = Slo.configure ~name:"test-serve" ~target:max_int ~budget:0.5 () in
+  let incident = serve_incident ~obs:true () in
+  check "survived" true (incident.Supervisor.verdict <> Supervisor.Gave_up);
+  let s = Quantile.(snapshot (get "serve.latency_ns")) in
+  (* every request (plus rewound replays) recorded a latency *)
+  check "latency samples >= requests" true (Quantile.count s >= 512);
+  check "latencies are positive" true (Quantile.quantile s 0.5 > 0);
+  let total name =
+    match Window.find name with
+    | Some w -> Window.total w ~now:511
+    | None -> Alcotest.failf "window %s not registered" name
+  in
+  check "request window saw traffic" true (total "serve.requests" >= 512);
+  let r = Slo.report slo in
+  check "slo counted the run" true (r.Slo.total >= 512);
+  check "generous slo not breached" true (not r.Slo.breached)
+
+let test_serve_telemetry_write_only () =
+  (* The determinism contract: the same run with telemetry on and off
+     must produce identical program output. *)
+  let out_with_obs =
+    Control.with_enabled false (fun () ->
+        wipe ();
+        Fun.protect ~finally:wipe (fun () ->
+            let slo = Slo.configure ~name:"wo" ~target:0 ~budget:0.001 () in
+            let i = serve_incident ~obs:true () in
+            ignore (Slo.report slo);
+            i.Supervisor.output))
+  in
+  let out_without = (serve_incident ~obs:false ()).Supervisor.output in
+  check "output identical with obs on/off" true (out_with_obs = out_without)
+
+let test_zipf_keys_deterministic () =
+  (* Zipf-keyed serving is still a pure function of the request index:
+     two supervised runs with the same seed agree byte for byte, and the
+     skew changes the output (it really is a different key stream). *)
+  let run ?zipf () =
+    let policy =
+      { Supervisor.default_policy with Supervisor.checkpoint_interval = 64 }
+    in
+    (Supervisor.run ~policy
+       ~config:(Diehard.Config.v ~heap_size:Server.heap_size ())
+       ~seed_pool:(Dh_rng.Seed.create ~master:5)
+       (Server.program ~requests:256 ~attack_every:48 ?zipf ()))
+      .Supervisor.output
+  in
+  check "zipf run deterministic" true (run ~zipf:1.1 () = run ~zipf:1.1 ());
+  check "zipf changes the key stream" true (run ~zipf:1.1 () <> run ())
+
+let suite =
+  [
+    Alcotest.test_case "quantile: exact below 2*fine" `Quick
+      test_bucket_exact_below_limit;
+    Alcotest.test_case "quantile: buckets tile the integers" `Quick
+      test_bucket_continuity;
+    QCheck_alcotest.to_alcotest prop_bucket_roundtrip;
+    QCheck_alcotest.to_alcotest prop_quantile_vs_sorted_oracle;
+    Alcotest.test_case "quantile: snapshot arithmetic" `Quick
+      test_snapshot_arithmetic;
+    Alcotest.test_case "quantile: shard merge under domains" `Quick
+      test_shard_merge_under_domains;
+    Alcotest.test_case "window: basics and early rate" `Quick test_window_basics;
+    Alcotest.test_case "window: rotation across clock jumps" `Quick
+      test_window_rotation_and_jumps;
+    Alcotest.test_case "window: registry and find" `Quick test_window_registry;
+    Alcotest.test_case "window: disabled add is a no-op" `Quick
+      test_window_disabled_noop;
+    Alcotest.test_case "slo: zero requests" `Quick test_slo_zero_requests;
+    Alcotest.test_case "slo: 100% errors burns 1/budget" `Quick
+      test_slo_all_errors;
+    Alcotest.test_case "slo: latency classification" `Quick
+      test_slo_latency_classification;
+    Alcotest.test_case "slo: validation and active slot" `Quick
+      test_slo_validation_and_active;
+    Alcotest.test_case "slo: disabled record is a no-op" `Quick
+      test_slo_disabled_noop;
+    Alcotest.test_case "recorder: step cursor groups and drains" `Quick
+      test_step_cursor;
+    Alcotest.test_case "recorder: advertised step fills reports" `Quick
+      test_advertised_step;
+    Alcotest.test_case "serve: supervisor publishes telemetry" `Quick
+      test_serve_telemetry;
+    Alcotest.test_case "serve: telemetry is write-only" `Quick
+      test_serve_telemetry_write_only;
+    Alcotest.test_case "serve: zipf keys stay deterministic" `Quick
+      test_zipf_keys_deterministic;
+  ]
