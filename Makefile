@@ -1,6 +1,6 @@
 # Convenience targets for the DieHard reproduction.
 
-.PHONY: all build test bench bench-quick bench-scaling bench-space bench-serve obs-check fuzz examples check clean
+.PHONY: all build test bench bench-quick bench-scaling bench-space bench-serve obs-check audit-check fuzz examples check clean
 
 all: build
 
@@ -63,6 +63,16 @@ obs-check:
 	dune exec bin/diehard_cli.exe -- obs obs_trace.json \
 		--expect heap.malloc,gc.collect,gc.mark,gc.sweep,supervisor.attempt,replica.run
 	rm -f obs_trace.json
+
+# The safety-margin audit gate: sweep M over {1.5, 2, 3, 4}, measure
+# empirical overflow/dangling masking on the real heap against the
+# paper's analytic curves, check the slot-choice entropy behind the
+# uniformity assumption, rewrite BENCH_audit.json, and fail if any
+# point deviates beyond the declared statistical tolerance (4 sigma +
+# slack; see DESIGN.md, "Safety-margin auditing").  CI smoke runs the
+# quick variant.
+audit-check:
+	dune exec bench/main.exe -- audit-gate
 
 fuzz:
 	dune exec bin/fuzz.exe -- --rounds 100 --ops 400

@@ -1,0 +1,286 @@
+(* The safety-margin audit: sweep the heap-expansion factor M over
+   {1.5, 2, 3, 4} and, for each point, compare the paper's analytic
+   masking guarantees against what the *implemented* heap actually
+   delivers, Monte-Carlo style.  Three legs per M, each with a declared
+   statistical tolerance:
+
+   - overflow: fill the 64 B class to its 1/M threshold, overflow one
+     random live object into its neighbour.  Theorem 1 with O = 1 says
+     the hit lands on a free slot with probability F/H.
+   - dangling: free a victim, perform A same-class allocations, check
+     the victim's slot was not recycled.  With uniform slot choice the
+     exact survival probability telescopes to 1 - A/Q (Q the free-slot
+     count when the victim is freed) — precisely Theorem 2 at k = 1,
+     with equality.  Any systematic gap means the allocator is not
+     choosing uniformly.
+   - entropy: the audit layer's slot-position histogram must be close
+     to the uniform ideal (log2 buckets bits); this is the randomness
+     assumption every theorem rests on, checked from the same
+     write-only instrumentation `diehard audit` reads in production.
+
+   M = 1.5 is not expressible as an integer multiplier, which is what
+   Config.max_live_fraction is for: the sweep drives every point
+   through `~max_live_fraction:(1 / M)` so all four configs take the
+   same code path.
+
+   The gate feeds the measured tallies through Dh_obs.Audit /
+   Dh_analysis.Margin — the same pipeline the CLI uses — and commits
+   the whole report as BENCH_audit.json. *)
+
+module Allocator = Dh_alloc.Allocator
+module Theorems = Dh_analysis.Theorems
+module Margin = Dh_analysis.Margin
+module Audit = Dh_obs.Audit
+module Heap = Diehard.Heap
+module Config = Diehard.Config
+
+let multipliers = [ 1.5; 2.; 3.; 4. ]
+let class_ = 3
+let size = 64
+let heap_size = 12 * 256 * 1024
+let dangling_allocations = 100
+let entropy_fills = 4
+
+(* Tolerances: |measured - analytic| <= sigmas * binomial_sigma + slack.
+   The slack absorbs the model's edge effects (the region's last slot
+   overflows into the hole page and always masks; thresholds round
+   down), which are O(1/capacity) but not zero. *)
+let sigmas = 4.
+let slack = 0.02
+let entropy_floor = 0.98
+let entropy_ideal = log (float_of_int Audit.slot_buckets) /. log 2.
+
+let make_heap ~m ~seed =
+  let config = Config.v ~heap_size ~seed ~max_live_fraction:(1. /. m) () in
+  Heap.create ~config (Dh_mem.Mem.create ())
+
+(* Fill the audited class to its 1/M threshold; returns the objects. *)
+let fill heap =
+  let alloc = Heap.allocator heap in
+  let threshold = Config.threshold (Heap.config heap) ~class_ in
+  Array.init threshold (fun _ -> Allocator.malloc_exn alloc size)
+
+(* One overflow trial on a fresh heap at its threshold (Figure 4(a)'s
+   methodology, at the M-sweep's fullness instead of a fixed one). *)
+let overflow_trial ~m ~seed =
+  let heap = make_heap ~m ~seed in
+  let ptrs = fill heap in
+  let victim = ptrs.(Dh_rng.Mwc.below (Heap.rng heap) (Array.length ptrs)) in
+  match Heap.find_object heap (victim + size) with
+  | Some { Allocator.allocated; _ } -> not allocated
+  | None -> true (* ran off the region into the unmapped hole page *)
+
+type leg = {
+  analytic : float;
+  measured : float;
+  sigma : float;
+  tol : float;
+  ok : bool;
+}
+
+let leg ~analytic ~masked ~trials =
+  let measured = float_of_int masked /. float_of_int trials in
+  let sigma = Margin.binomial_sigma ~p:analytic ~trials in
+  let tol = (sigmas *. sigma) +. slack in
+  { analytic; measured; sigma; tol; ok = Float.abs (measured -. analytic) <= tol }
+
+type row = {
+  m : float;
+  threshold : int;
+  capacity : int;
+  overflow : leg;
+  dangling : leg;
+  entropy_bits : float;
+  entropy_ratio : float;
+  entropy_samples : int;
+  entropy_ok : bool;
+}
+
+let sweep ~quick () =
+  let overflow_trials = if quick then 120 else 400 in
+  let dangling_trials = if quick then 300 else 1000 in
+  let pool = Dh_rng.Seed.create ~master:0xA0D1 in
+  let margin = ref None in
+  let rows =
+    List.map
+      (fun m ->
+        let probe = make_heap ~m ~seed:1 in
+        let capacity = Heap.region_capacity probe ~class_ in
+        let threshold = Config.threshold (Heap.config probe) ~class_ in
+        (* -- overflow leg (fresh heap per trial, obs off) -- *)
+        let ovf_analytic =
+          Theorems.overflow_mask_probability
+            ~free_fraction:(1. -. (float_of_int threshold /. float_of_int capacity))
+            ~objects:1 ~replicas:1
+        in
+        let ovf_masked = ref 0 in
+        for _ = 1 to overflow_trials do
+          if overflow_trial ~m ~seed:(Dh_rng.Seed.fresh pool) then incr ovf_masked
+        done;
+        (* -- dangling leg (one heap pre-filled so the trials run just
+              under the threshold, Figure 4(b)'s methodology) -- *)
+        let dheap = make_heap ~m ~seed:(Dh_rng.Seed.fresh pool) in
+        let dalloc = Heap.allocator dheap in
+        let prefill = threshold - dangling_allocations - 2 in
+        for _ = 1 to prefill do
+          ignore (Allocator.malloc_exn dalloc size)
+        done;
+        let q0 = capacity - prefill in
+        let dgl_analytic =
+          (* Theorem 2 at k = 1 is exact here: P = prod (1 - 1/Q_i)
+             telescopes to 1 - A/Q0. *)
+          Theorems.dangling_mask_probability ~allocations:dangling_allocations
+            ~free_slots:q0 ~replicas:1
+        in
+        let dgl_masked = ref 0 in
+        for _ = 1 to dangling_trials do
+          if Fig4.dangling_masked ~alloc:dalloc ~size ~allocations:dangling_allocations
+          then incr dgl_masked
+        done;
+        (* -- entropy leg + audit feed (obs on: exercise the exact
+              write path production uses, then read it back) -- *)
+        let entropy_bits, entropy_samples =
+          Dh_obs.Control.with_enabled true (fun () ->
+              Audit.reset ();
+              let site = Audit.site "bench:audit-fill" in
+              for _ = 1 to entropy_fills do
+                let heap = make_heap ~m ~seed:(Dh_rng.Seed.fresh pool) in
+                Audit.with_site site (fun () -> ignore (fill heap))
+              done;
+              Audit.record_error_trials ~error:Audit.Overflow ~masked:!ovf_masked
+                ~trials:overflow_trials;
+              Audit.record_error_trials ~error:Audit.Dangling ~masked:!dgl_masked
+                ~trials:dangling_trials;
+              let snap = Audit.snapshot () in
+              if m = 2. then
+                margin := Some (Margin.of_snapshot ~dangling_allocations snap);
+              let c = snap.Audit.classes.(class_) in
+              ( Audit.entropy_bits c.Audit.slot_hist,
+                Array.fold_left ( + ) 0 c.Audit.slot_hist ))
+        in
+        let entropy_ratio = entropy_bits /. entropy_ideal in
+        {
+          m;
+          threshold;
+          capacity;
+          overflow = leg ~analytic:ovf_analytic ~masked:!ovf_masked ~trials:overflow_trials;
+          dangling = leg ~analytic:dgl_analytic ~masked:!dgl_masked ~trials:dangling_trials;
+          entropy_bits;
+          entropy_ratio;
+          entropy_samples;
+          entropy_ok = entropy_ratio >= entropy_floor;
+        })
+      multipliers
+  in
+  (rows, Option.get !margin, overflow_trials, dangling_trials)
+
+let row_failures r =
+  List.filter_map
+    (fun (ok, what) -> if ok then None else Some (Printf.sprintf "M=%g %s" r.m what))
+    [
+      ( r.overflow.ok,
+        Printf.sprintf "overflow masking %.4f vs analytic %.4f (tol %.4f)"
+          r.overflow.measured r.overflow.analytic r.overflow.tol );
+      ( r.dangling.ok,
+        Printf.sprintf "dangling masking %.4f vs analytic %.4f (tol %.4f)"
+          r.dangling.measured r.dangling.analytic r.dangling.tol );
+      ( r.entropy_ok,
+        Printf.sprintf "slot entropy %.3f bits = %.1f%% of ideal (floor %.0f%%)"
+          r.entropy_bits (100. *. r.entropy_ratio) (100. *. entropy_floor) );
+    ]
+
+let print_rows rows =
+  Report.table
+    ~header:
+      [
+        "M"; "live/cap"; "ovf analytic"; "(meas)"; "tol"; "dgl analytic"; "(meas)";
+        "tol"; "entropy"; "verdict";
+      ]
+    (List.map
+       (fun r ->
+         [
+           Printf.sprintf "%g" r.m;
+           Printf.sprintf "%d/%d" r.threshold r.capacity;
+           Report.pct2 r.overflow.analytic;
+           Report.pct2 r.overflow.measured;
+           Printf.sprintf "%.3f" r.overflow.tol;
+           Report.pct2 r.dangling.analytic;
+           Report.pct2 r.dangling.measured;
+           Printf.sprintf "%.3f" r.dangling.tol;
+           Printf.sprintf "%.2f/%.2f" r.entropy_bits entropy_ideal;
+           (if row_failures r = [] then "ok" else "FAIL");
+         ])
+       rows)
+
+let run ~quick () =
+  Report.heading "Safety-margin audit: analytic guarantees vs the measured heap, M sweep";
+  Report.note
+    "per M: fill the 64B class to its 1/M threshold; overflow = Theorem 1 at that";
+  Report.note
+    "fullness; dangling = Theorem 2 (exact at k=1) over A=%d allocations; entropy ="
+    dangling_allocations;
+  Report.note "observed slot-choice randomness vs the uniform ideal";
+  let rows, margin, _, _ = sweep ~quick () in
+  print_rows rows;
+  Report.subheading "Margin report at M=2 (what `diehard audit` prints live)";
+  Format.printf "%a@?" Margin.pp margin
+
+(* --- machine-readable baseline + CI gate --- *)
+
+let write_json ~path ~quick rows margin ~overflow_trials ~dangling_trials =
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"schema\": \"diehard-bench-audit/1\",\n";
+  add "  \"quick\": %b,\n" quick;
+  add
+    "  \"config\": {\"heap_size\": %d, \"class\": %d, \"size\": %d, \
+     \"dangling_allocations\": %d, \"overflow_trials\": %d, \
+     \"dangling_trials\": %d, \"entropy_fills\": %d, \"sigmas\": %.1f, \
+     \"slack\": %.3f, \"entropy_floor\": %.2f},\n"
+    heap_size class_ size dangling_allocations overflow_trials dangling_trials
+    entropy_fills sigmas slack entropy_floor;
+  add "  \"sweep\": [\n";
+  List.iteri
+    (fun i r ->
+      let leg_json l =
+        Printf.sprintf
+          "{\"analytic\": %.6f, \"measured\": %.6f, \"sigma\": %.6f, \
+           \"tolerance\": %.6f, \"pass\": %b}"
+          l.analytic l.measured l.sigma l.tol l.ok
+      in
+      add
+        "    {\"multiplier\": %g, \"threshold\": %d, \"capacity\": %d,\n\
+        \     \"overflow\": %s,\n\
+        \     \"dangling\": %s,\n\
+        \     \"entropy\": {\"bits\": %.4f, \"ideal\": %.4f, \"ratio\": %.4f, \
+         \"samples\": %d, \"pass\": %b}}%s\n"
+        r.m r.threshold r.capacity (leg_json r.overflow) (leg_json r.dangling)
+        r.entropy_bits entropy_ideal r.entropy_ratio r.entropy_samples r.entropy_ok
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  add "  ],\n";
+  add "  \"uninit\": {\"bits\": 32, \"detect_k3\": %.6f},\n"
+    (Theorems.uninit_detect_probability ~bits:32 ~replicas:3);
+  add "  \"margin\": %s,\n" (Margin.to_json margin);
+  add "  \"pass\": %b\n" (List.for_all (fun r -> row_failures r = []) rows);
+  add "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+let gate ~quick ?(out = "BENCH_audit.json") () =
+  Report.heading "Audit gate: empirical masking must track the analytic curve";
+  let rows, margin, overflow_trials, dangling_trials = sweep ~quick () in
+  print_rows rows;
+  write_json ~path:out ~quick rows margin ~overflow_trials ~dangling_trials;
+  let failures = List.concat_map row_failures rows in
+  if failures <> [] then begin
+    List.iter (fun f -> Printf.printf "audit gate FAIL: %s\n" f) failures;
+    exit 3
+  end;
+  Printf.printf
+    "audit gate ok: %d M-points, overflow within %.1f sigma + %.2f, dangling exact \
+     model holds, entropy >= %.0f%% of ideal\n%!"
+    (List.length rows) sigmas slack (100. *. entropy_floor)

@@ -33,6 +33,8 @@ let experiments ~quick =
     ("serve", fun () -> Serve.run ~quick ());
     ("serve-gate", fun () -> Serve.gate ~quick ());
     ("ablate", fun () -> Ablate.run ~quick ());
+    ("audit", fun () -> Audit.run ~quick ());
+    ("audit-gate", fun () -> Audit.gate ~quick ());
   ]
 
 let () =
@@ -44,7 +46,9 @@ let () =
   let to_run =
     (* Gates can exit non-zero; they only run when named explicitly. *)
     if selected = [] then
-      List.filter (fun (n, _) -> n <> "space-gate" && n <> "serve-gate") experiments
+      List.filter
+        (fun (n, _) -> n <> "space-gate" && n <> "serve-gate" && n <> "audit-gate")
+        experiments
     else
       List.filter_map
         (fun name ->

@@ -677,6 +677,154 @@ let replay_cmd =
       const action $ obs_term $ prog_arg $ requests_arg $ attack_every_arg
       $ replay_interval_arg $ seed_arg $ heap_arg $ input_arg $ fuel_arg)
 
+(* --- audit: the live safety-margin report ---
+
+   Runs a program on a DieHard heap with the audit instrumentation
+   switched on, then evaluates the paper's closed-form guarantees
+   against the heap's actual occupancy (Dh_analysis.Margin): per-class
+   overflow/dangling masking bounds at the observed fullness, the
+   slot-choice entropy behind the uniformity assumption, and the top
+   offending allocation sites.  The report is the product; the
+   program's own output is discarded (use `run` for that). *)
+
+let audit_format_arg =
+  let doc = "Report format: human, json, or csv." in
+  Arg.(value
+       & opt (enum [ ("human", `Human); ("json", `Json); ("csv", `Csv) ]) `Human
+       & info [ "format" ] ~docv:"FMT" ~doc)
+
+let audit_out_arg =
+  let doc = "Write the report to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+let audit_watch_arg =
+  let doc =
+    "Print a compact audit snapshot to stderr every $(docv) requests \
+     (request-structured programs such as the built-in 'server'; 0 disables)."
+  in
+  Arg.(value & opt int 0 & info [ "watch" ] ~docv:"N" ~doc)
+
+let audit_replicas_arg =
+  let doc = "Replica count the analytic bounds assume (1 or >= 3)." in
+  Arg.(value & opt int 1 & info [ "n"; "replicas" ] ~docv:"K" ~doc)
+
+let audit_distance_arg =
+  let doc =
+    "Intervening allocations A for the Theorem 2 dangling-masking bound."
+  in
+  Arg.(value & opt int 10 & info [ "dangling-distance" ] ~docv:"A" ~doc)
+
+let audit_cmd =
+  let action () prog format out watch replicas distance seed heap_size requests
+      attack_every input fuel =
+    if replicas < 1 || replicas = 2 then begin
+      Printf.eprintf
+        "audit: --replicas must be 1 or >= 3 (the voter cannot break ties)\n";
+      exit 2
+    end;
+    (* Enable obs BEFORE building the heap: Heap.create only registers
+       its occupancy provider (the authoritative live/threshold/capacity
+       feed) while observability is on. *)
+    Dh_obs.Control.set_enabled true;
+    Dh_obs.Audit.reset ();
+    let margin_now () =
+      Dh_analysis.Margin.of_snapshot ~replicas ~dangling_allocations:distance
+        (Dh_obs.Audit.snapshot ())
+    in
+    if watch > 0 then
+      Dh_obs.Audit.set_watch ~every:watch ~f:(fun ~now ->
+          List.iter
+            (fun c ->
+              if c.Dh_analysis.Margin.cm_live > 0 then
+                Printf.eprintf
+                  "audit t=%d class=%d size=%dB live=%d/%d occ=%.3f \
+                   P(ovf mask)=%.4f P(dgl mask)=%.4f\n%!"
+                  now c.Dh_analysis.Margin.cm_class
+                  c.Dh_analysis.Margin.cm_size c.Dh_analysis.Margin.cm_live
+                  c.Dh_analysis.Margin.cm_capacity
+                  c.Dh_analysis.Margin.cm_occupancy
+                  c.Dh_analysis.Margin.cm_overflow_mask
+                  c.Dh_analysis.Margin.cm_dangling_mask)
+            (margin_now ()).Dh_analysis.Margin.classes);
+    let mem = Dh_mem.Mem.create () in
+    let result =
+      match prog with
+      | "server" ->
+        (* Drive the service loop request by request so --watch ticks. *)
+        let heap_size =
+          if heap_size = Diehard.Config.default.Diehard.Config.heap_size then
+            Dh_workload.Server.heap_size
+          else heap_size
+        in
+        let svc = Dh_workload.Server.service ~requests ~attack_every () in
+        let config = Diehard.Config.v ~heap_size ~seed () in
+        let alloc = Diehard.Heap.allocator (Diehard.Heap.create ~config mem) in
+        Dh_mem.Process.run (fun out ->
+            let ctx =
+              {
+                Dh_alloc.Program.alloc;
+                policy = Dh_alloc.Policy.make alloc;
+                input = read_input input;
+                out;
+                now = 0;
+                fuel = Dh_mem.Process.Fuel.create ~budget:fuel;
+              }
+            in
+            let h = svc.Dh_alloc.Program.init ctx in
+            for k = 0 to svc.Dh_alloc.Program.requests - 1 do
+              h.Dh_alloc.Program.handle k;
+              Dh_obs.Audit.tick ~now:k
+            done;
+            h.Dh_alloc.Program.finish ())
+      | _ ->
+        if watch > 0 then
+          Printf.eprintf
+            "audit: --watch needs a request-structured program; %s runs \
+             without periodic snapshots\n"
+            prog;
+        let program =
+          Dh_lang.Interp.program_of_source ~name:prog (load_source prog)
+        in
+        let config = Diehard.Config.v ~heap_size ~seed () in
+        let alloc = Diehard.Heap.allocator (Diehard.Heap.create ~config mem) in
+        Dh_alloc.Program.run ~input:(read_input input) ~fuel program alloc
+    in
+    let report = margin_now () in
+    let text =
+      match format with
+      | `Human -> Format.asprintf "%a" Dh_analysis.Margin.pp report
+      | `Json -> Dh_analysis.Margin.to_json report ^ "\n"
+      | `Csv -> Dh_analysis.Margin.to_csv report
+    in
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.eprintf "audit: wrote %s\n" path
+    | None -> print_string text);
+    exit
+      (match result.Dh_mem.Process.outcome with
+      | Dh_mem.Process.Exited 0 -> 0
+      | outcome ->
+        Printf.eprintf "audit: program %s\n"
+          (Dh_mem.Process.outcome_to_string outcome);
+        1)
+  in
+  let doc =
+    "Run a program on an audited DieHard heap and report the live safety \
+     margin: per-size-class occupancy against the 1/M threshold, Theorem 1/2 \
+     masking bounds at the observed fullness, slot-choice entropy vs the \
+     uniform ideal, empirical masking rates, and the top offending \
+     allocation sites.  --watch N prints periodic snapshots while a \
+     service-shaped program runs."
+  in
+  Cmd.v (Cmd.info "audit" ~doc)
+    Term.(
+      const action $ obs_term $ prog_arg $ audit_format_arg $ audit_out_arg
+      $ audit_watch_arg $ audit_replicas_arg $ audit_distance_arg $ seed_arg
+      $ heap_arg $ requests_arg $ attack_every_arg $ input_arg $ fuel_arg)
+
 (* --- bench --- *)
 
 let bench_cmd =
@@ -771,9 +919,12 @@ let validate_metrics_csv path =
             match kind with
             | "histogram" ->
               incr histograms;
-              (* Histograms always carry both quantile summaries. *)
-              Option.is_some (int_of_string_opt p50)
-              && Option.is_some (int_of_string_opt p99)
+              (* Histograms always carry both quantile summaries, and
+                 they must be ordered — exact quantiles from a
+                 registered Quantile digest included. *)
+              (match (int_of_string_opt p50, int_of_string_opt p99) with
+              | Some lo, Some hi -> lo <= hi
+              | _ -> false)
             | "counter" | "gauge" -> p50 = "" && p99 = ""
             | _ -> false
           in
@@ -875,6 +1026,6 @@ let main_cmd =
   let info = Cmd.info "diehard" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ run_cmd; replicate_cmd; survive_cmd; replay_cmd; inject_cmd; check_cmd;
-      diagnose_cmd; trace_cmd; bench_cmd; obs_cmd ]
+      diagnose_cmd; trace_cmd; audit_cmd; bench_cmd; obs_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

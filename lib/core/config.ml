@@ -9,10 +9,15 @@ type t = {
   obs : bool;
   mesh : bool;
   mesh_threshold : int;
+  max_live_fraction : float option;
 }
 
 let validate t =
   if t.multiplier < 2 then invalid_arg "Config: multiplier must be >= 2";
+  (match t.max_live_fraction with
+  | Some f when not (f > 0. && f <= 1.) ->
+    invalid_arg "Config: max_live_fraction must be in (0, 1]"
+  | Some _ | None -> ());
   if t.jobs < 1 then invalid_arg "Config: jobs must be >= 1";
   if t.mesh_threshold <= 0 then invalid_arg "Config: mesh threshold must be positive";
   let region = t.heap_size / Size_class.count in
@@ -31,6 +36,7 @@ let default =
       obs = false;
       mesh = false;
       mesh_threshold = 256 lsl 10;
+      max_live_fraction = None;
     }
 
 let paper_default = validate { default with heap_size = 384 lsl 20 }
@@ -38,8 +44,19 @@ let paper_default = validate { default with heap_size = 384 lsl 20 }
 let v ?(multiplier = default.multiplier) ?(heap_size = default.heap_size)
     ?(replicated = default.replicated) ?(seed = default.seed)
     ?(jobs = default.jobs) ?(obs = default.obs) ?(mesh = default.mesh)
-    ?(mesh_threshold = default.mesh_threshold) () =
-  validate { multiplier; heap_size; replicated; seed; jobs; obs; mesh; mesh_threshold }
+    ?(mesh_threshold = default.mesh_threshold) ?max_live_fraction () =
+  validate
+    {
+      multiplier;
+      heap_size;
+      replicated;
+      seed;
+      jobs;
+      obs;
+      mesh;
+      mesh_threshold;
+      max_live_fraction;
+    }
 
 let region_size t =
   let raw = t.heap_size / Size_class.count in
@@ -47,4 +64,12 @@ let region_size t =
 
 let objects_in_region t ~class_ = region_size t / Size_class.size class_
 
-let threshold t ~class_ = objects_in_region t ~class_ / t.multiplier
+(* The occupancy ceiling of §4.2.  [max_live_fraction] generalizes the
+   integer expansion factor to fractional M (ceiling = 1/M): the
+   safety-margin audit sweeps M = 1.5, which no integer [multiplier]
+   can express.  [None] preserves the paper's [objects / M] exactly. *)
+let threshold t ~class_ =
+  let objects = objects_in_region t ~class_ in
+  match t.max_live_fraction with
+  | None -> objects / t.multiplier
+  | Some f -> max 1 (int_of_float (f *. float_of_int objects))

@@ -44,6 +44,13 @@ type t = {
       (** Freed bytes between automatic mesh passes when [mesh] is on
           (also reachable explicitly via [Heap.mesh]).  Must be
           positive. *)
+  max_live_fraction : float option;
+      (** When [Some f], each size-class region may become at most
+          [floor (f * objects)] full, overriding [multiplier]'s
+          [objects / M].  Generalizes the expansion factor to fractional
+          M (the safety-margin audit sweeps M = 1.5, i.e. [f = 2/3]);
+          must lie in (0, 1].  [None] (the default) keeps the paper's
+          integer-M arithmetic exactly. *)
 }
 
 val default : t
@@ -63,12 +70,14 @@ val v :
   ?obs:bool ->
   ?mesh:bool ->
   ?mesh_threshold:int ->
+  ?max_live_fraction:float ->
   unit ->
   t
 (** Build a configuration, defaulting missing fields from {!default}.
     Raises [Invalid_argument] if [multiplier < 2], [jobs < 1],
-    [mesh_threshold <= 0], or the heap is too small to give each region
-    one object of the largest size class. *)
+    [mesh_threshold <= 0], [max_live_fraction] outside (0, 1], or the
+    heap is too small to give each region one object of the largest
+    size class. *)
 
 val region_size : t -> int
 (** Bytes per size-class region ([heap_size / 12], page-rounded down). *)
@@ -78,4 +87,5 @@ val objects_in_region : t -> class_:int -> int
 
 val threshold : t -> class_:int -> int
 (** Maximum live objects the region for [class_] may hold
-    ([objects / M]) — allocation beyond this returns NULL (§4.2). *)
+    ([objects / M], or [floor (f * objects)] under [max_live_fraction])
+    — allocation beyond this returns NULL (§4.2). *)

@@ -22,6 +22,14 @@ type region = {
          are untouched. *)
   buddy : int array;  (* page -> page sharing its backing page, or -1 *)
   mutable meshed : int;  (* currently-meshed pairs in this region *)
+  mutable sites : int array;
+      (* per-slot allocation-site ids for audit provenance; [||] until
+         the first audited allocation, so an obs-off heap pays nothing.
+         A slot keeps its last site after free — that is the point: a
+         dangling access attributes to the site that allocated the
+         stale object.  Deliberately not snapshotted: provenance is
+         best-effort telemetry, and rewinding it would misattribute the
+         replayed window's allocations. *)
 }
 
 type large_object = { payload : int; size : int; map_base : int; map_len : int }
@@ -37,7 +45,13 @@ module Imap = Map.Make (Int)
 type obs_instruments = {
   malloc_probes : Dh_obs.Metrics.local_histogram;
   malloc_bytes : Dh_obs.Metrics.local_histogram;
+  audit : Dh_obs.Audit.local;
 }
+
+(* Large objects feed the audit under a pseudo-class one past the real
+   size classes: they have no slots, so no slot-position entropy, but
+   their site provenance and alloc/free flow still count. *)
+let large_class = Size_class.count
 
 type t = {
   config : Config.t;
@@ -49,6 +63,9 @@ type t = {
          mesh-on runs would diverge before the first mesh. *)
   regions : region array;
   mutable large : large_object Imap.t;  (* keyed by payload base *)
+  mutable large_sites : int Imap.t;
+      (* payload -> site id, audit provenance only.  Entries are kept
+         after free (dangling attribution) and never rewound. *)
   stats : Stats.t;
   mutable freed_since_mesh : int;  (* bytes freed since the last pass *)
   mutable meshes : int;  (* cumulative successful meshes *)
@@ -92,6 +109,7 @@ let create ?(config = Config.default) mem =
           masked = Bitmap.create capacity;
           buddy = Array.make pages (-1);
           meshed = 0;
+          sites = [||];
         })
   in
   let t =
@@ -104,6 +122,7 @@ let create ?(config = Config.default) mem =
       mesh_rng = Mwc.create ~seed:(config.Config.seed lxor 0x4d455348);
       regions;
       large = Imap.empty;
+      large_sites = Imap.empty;
       stats = Stats.create ();
       freed_since_mesh = 0;
       meshes = 0;
@@ -113,7 +132,23 @@ let create ?(config = Config.default) mem =
   if Dh_obs.Control.enabled () then begin
     Stats.register ~prefix:"heap" t.stats;
     Dh_obs.Metrics.gauge_fn Dh_obs.Metrics.default "heap.meshes" (fun () -> t.meshes);
-    Dh_obs.Recorder.register_context "heap.occupancy" (occupancy_summary t)
+    Dh_obs.Recorder.register_context "heap.occupancy" (occupancy_summary t);
+    (* The audit reads authoritative occupancy (live / threshold /
+       capacity per class) straight from the newest heap; cumulative
+       audit counters would drift across checkpoint rewinds. *)
+    Dh_obs.Audit.set_occupancy_provider (fun () ->
+        Array.to_list t.regions
+        |> List.filter_map (fun region ->
+               if region.base = 0 && region.in_use = 0 then None
+               else
+                 Some
+                   {
+                     Dh_obs.Audit.occ_class = region.class_;
+                     live = region.in_use;
+                     threshold = region.threshold;
+                     capacity = region.capacity;
+                   }));
+    Dh_obs.Recorder.register_context "audit.top-sites" Dh_obs.Audit.top_sites_summary
   end;
   t
 
@@ -130,6 +165,7 @@ let obs_instruments t =
         malloc_bytes =
           Dh_obs.Metrics.local_histogram
             (Dh_obs.Metrics.histogram reg "heap.malloc.bytes");
+        audit = Dh_obs.Audit.local ();
       }
     in
     t.obs <- Some o;
@@ -239,7 +275,7 @@ let ensure_mapped t region =
 
 (* --- large objects (> 16 KB): individual mappings with guard pages --- *)
 
-let malloc_large t sz =
+let malloc_large t site sz =
   let body = (sz + Mem.page_size - 1) / Mem.page_size * Mem.page_size in
   let map_len = body + (2 * Mem.page_size) in
   let map_base = Mem.mmap t.mem map_len in
@@ -252,7 +288,13 @@ let malloc_large t sz =
   t.large <- Imap.add payload { payload; size = body; map_base; map_len } t.large;
   Stats.on_malloc t.stats ~requested:sz ~reserved:body;
   if Dh_obs.Control.enabled () then begin
-    Dh_obs.Metrics.observe_local (obs_instruments t).malloc_bytes sz;
+    let o = obs_instruments t in
+    let site =
+      match site with Some s -> s | None -> Dh_obs.Audit.current_site ()
+    in
+    t.large_sites <- Imap.add payload site t.large_sites;
+    Dh_obs.Audit.record_alloc o.audit ~class_:large_class ~index:(-1) ~capacity:0 ~site;
+    Dh_obs.Metrics.observe_local o.malloc_bytes sz;
     Dh_obs.Tracing.instant ~arg:(string_of_int sz) "heap.malloc.large"
   end;
   Some payload
@@ -264,7 +306,13 @@ let free_large t addr =
   | Some lo ->
     t.large <- Imap.remove addr t.large;
     Mem.munmap t.mem lo.map_base;
-    Stats.on_free t.stats ~reserved:lo.size
+    Stats.on_free t.stats ~reserved:lo.size;
+    if Dh_obs.Control.enabled () then begin
+      let site =
+        Option.value (Imap.find_opt addr t.large_sites) ~default:Dh_obs.Audit.unknown
+      in
+      Dh_obs.Audit.record_free (obs_instruments t).audit ~class_:large_class ~site
+    end
   | None -> t.stats.Stats.ignored_frees <- t.stats.Stats.ignored_frees + 1
 
 let large_containing t addr =
@@ -417,17 +465,28 @@ let meshes t = t.meshes
 (* Telemetry for the small-object path: probe-count and request-size
    distributions (§4.2's expected-probes analysis, observed live),
    recorded through the heap's cached instrument handles, plus a
-   sampled "heap.malloc" instant. *)
-let observe_malloc t ~probes ~bytes =
+   sampled "heap.malloc" instant.  The audit feed rides the same gate:
+   slot position (randomness entropy), size-class flow, and the
+   allocation site — explicit from the caller, or the ambient
+   {!Dh_obs.Audit.current_site} the workload bracketed. *)
+let observe_malloc t ~probes ~bytes ~region ~index ~site =
   if Dh_obs.Control.enabled () then begin
     let o = obs_instruments t in
     Dh_obs.Metrics.observe_local o.malloc_probes probes;
     Dh_obs.Metrics.observe_local o.malloc_bytes bytes;
+    let site =
+      match site with Some s -> s | None -> Dh_obs.Audit.current_site ()
+    in
+    if Array.length region.sites = 0 then
+      region.sites <- Array.make region.capacity Dh_obs.Audit.unknown;
+    region.sites.(index) <- site;
+    Dh_obs.Audit.record_alloc o.audit ~class_:region.class_ ~index
+      ~capacity:region.capacity ~site;
     if (t.stats.Stats.mallocs - 1) mod trace_sample = 0 then
       Dh_obs.Tracing.instant ~arg:(string_of_int bytes) "heap.malloc"
   end
 
-let malloc_small t sz class_ =
+let malloc_small t site sz class_ =
   let region = t.regions.(class_) in
   if
     region.in_use >= region.threshold
@@ -439,8 +498,10 @@ let malloc_small t sz class_ =
        masked slots hold buddy-page bytes — though the headroom bound in
        the mesher keeps this to pathological sequences. *)
     t.stats.Stats.failed_mallocs <- t.stats.Stats.failed_mallocs + 1;
-    if Dh_obs.Control.enabled () then
-      Dh_obs.Tracing.instant ~arg:(string_of_int class_) "heap.exhausted";
+    if Dh_obs.Control.enabled () then begin
+      Dh_obs.Audit.record_failed (obs_instruments t).audit ~class_;
+      Dh_obs.Tracing.instant ~arg:(string_of_int class_) "heap.exhausted"
+    end;
     None
   end
   else begin
@@ -479,16 +540,16 @@ let malloc_small t sz class_ =
     let addr = region.base + (index * size) in
     if t.config.Config.replicated then Mem.fill_random t.mem ~addr ~len:size t.rng;
     Stats.on_malloc t.stats ~requested:sz ~reserved:size;
-    observe_malloc t ~probes ~bytes:sz;
+    observe_malloc t ~probes ~bytes:sz ~region ~index ~site;
     Some addr
   end
 
-let malloc t sz =
+let malloc t ?site sz =
   if sz <= 0 then None
   else
     match Size_class.of_size sz with
-    | Some class_ -> malloc_small t sz class_
-    | None -> malloc_large t sz
+    | Some class_ -> malloc_small t site sz class_
+    | None -> malloc_large t site sz
 
 (* Hot path: every free/find_object lands here.  Early-exit scan over the
    twelve regions (the old version always walked all of them). *)
@@ -532,10 +593,16 @@ let free t addr =
             end
           end;
           Stats.on_free t.stats ~reserved:size;
-          if
-            Dh_obs.Control.enabled ()
-            && (t.stats.Stats.frees - 1) mod trace_sample = 0
-          then Dh_obs.Tracing.instant ~arg:(string_of_int size) "heap.free";
+          if Dh_obs.Control.enabled () then begin
+            let site =
+              if Array.length region.sites > 0 then region.sites.(index)
+              else Dh_obs.Audit.unknown
+            in
+            Dh_obs.Audit.record_free (obs_instruments t).audit
+              ~class_:region.class_ ~site;
+            if (t.stats.Stats.frees - 1) mod trace_sample = 0 then
+              Dh_obs.Tracing.instant ~arg:(string_of_int size) "heap.free"
+          end;
           if t.config.Config.mesh then begin
             t.freed_since_mesh <- t.freed_since_mesh + size;
             if t.freed_since_mesh >= t.config.Config.mesh_threshold then begin
@@ -548,6 +615,20 @@ let free t addr =
       end
       else t.stats.Stats.ignored_frees <- t.stats.Stats.ignored_frees + 1
     | None -> free_large t addr
+
+(* Audit provenance: the site that allocated the object whose slot
+   covers [addr] — live or freed (a freed slot keeps its last site, so
+   dangling accesses still attribute).  [None] when provenance was never
+   recorded (obs off, or the slot never allocated). *)
+let site_of_addr t addr =
+  match region_containing t addr with
+  | Some region ->
+    if Array.length region.sites = 0 then None
+    else Some region.sites.((addr - region.base) / Size_class.size region.class_)
+  | None -> (
+    match large_containing t addr with
+    | Some lo -> Imap.find_opt lo.payload t.large_sites
+    | None -> None)
 
 let slot_of_addr t addr =
   match region_containing t addr with
@@ -583,7 +664,9 @@ let allocator t =
   {
     Allocator.name = "diehard";
     mem = t.mem;
-    malloc = malloc t;
+    (* Eta-expanded so the optional site stays erasable: provenance
+       crosses the record boundary ambiently (Audit.with_site). *)
+    malloc = (fun sz -> malloc t sz);
     free = free t;
     find_object = find_object t;
     owns = owns t;

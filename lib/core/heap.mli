@@ -27,9 +27,14 @@ val create : ?config:Config.t -> Dh_mem.Mem.t -> t
 
 val config : t -> Config.t
 
-val malloc : t -> int -> int option
+val malloc : t -> ?site:int -> int -> int option
 (** [malloc t sz] — [None] means NULL: the size class is at its [1/M]
-    threshold (or [sz <= 0]). *)
+    threshold (or [sz <= 0]).  [site] is an interned
+    {!Dh_obs.Audit.site} id attributing the allocation for audit
+    provenance; when omitted, the ambient
+    {!Dh_obs.Audit.current_site} applies.  Sites never affect
+    placement or success — they are write-only telemetry, recorded
+    only while observability is enabled. *)
 
 val free : t -> int -> unit
 (** Validated deallocation; invalid and double frees are ignored (and
@@ -107,6 +112,13 @@ val region_fullness : t -> class_:int -> float
 val slot_of_addr : t -> int -> (int * int) option
 (** [(class, slot index)] of an address inside a mapped region, regardless
     of allocation state. *)
+
+val site_of_addr : t -> int -> int option
+(** Allocation-site id recorded for the slot or large object covering
+    this address — the {e last} allocator of those bytes, even if since
+    freed (dangling accesses attribute to the site that allocated the
+    stale object).  [None] when no provenance was recorded (telemetry
+    off, or never allocated). *)
 
 val large_object_count : t -> int
 

@@ -61,6 +61,7 @@ type incident = {
   output : string option;
   total_fuel : int;
   flight : Dh_obs.Recorder.report list;
+  offenders : Dh_obs.Audit.site_stat list;
 }
 
 (* Growth ceilings: the ladder expands the heap exponentially, so a long
@@ -123,6 +124,7 @@ let build_heap plan =
    serve.errors window the server itself stamps. *)
 type serve_obs = {
   so_latency : Dh_obs.Quantile.local;
+  so_latency_hist : Dh_obs.Metrics.local_histogram;
   so_requests : Dh_obs.Window.t;
   so_rewinds : Dh_obs.Window.t;
   so_slo : Dh_obs.Slo.t option;
@@ -134,6 +136,12 @@ let serve_obs () =
     Some
       {
         so_latency = Dh_obs.Quantile.(local (get "serve.latency_ns"));
+        (* The registry histogram deliberately shares the digest's name:
+           metrics CSV dumps then summarize this row with the digest's
+           exact p50/p99 instead of the coarse power-of-two buckets. *)
+        so_latency_hist =
+          Dh_obs.Metrics.(
+            local_histogram (histogram default "serve.latency_ns"));
         so_requests = Dh_obs.Window.get "serve.requests" ~width:1024 ~buckets:16;
         so_rewinds = Dh_obs.Window.get "serve.rewinds" ~width:1024 ~buckets:16;
         so_slo = Dh_obs.Slo.active ();
@@ -153,8 +161,12 @@ let run_service ctx (svc : Program.service) heap ~interval ~max_rewinds
       h.Program.handle k;
       let dt = Dh_obs.Tracing.now_ns () - t0 in
       Dh_obs.Quantile.record_local o.so_latency dt;
+      Dh_obs.Metrics.observe_local o.so_latency_hist dt;
       Dh_obs.Window.add o.so_requests ~now:k 1;
-      Option.iter (fun slo -> Dh_obs.Slo.record slo dt) o.so_slo
+      Option.iter (fun slo -> Dh_obs.Slo.record slo dt) o.so_slo;
+      (* The audit's --watch clock is the request index, like the
+         windows: periodic snapshots are deterministic per run. *)
+      Dh_obs.Audit.tick ~now:k
   in
   let k = ref 0 in
   while !k < svc.Program.requests do
@@ -302,7 +314,8 @@ let run ?(policy = default_policy) ?(config = Config.default)
     let cfg =
       Config.v ~multiplier:plan.multiplier ~heap_size:plan.heap_size ~seed:plan.seed ()
     in
-    let canary, instrumented = Canary.wrap (Heap.allocator (Heap.create ~config:cfg mem)) in
+    let replay_heap = Heap.create ~config:cfg mem in
+    let canary, instrumented = Canary.wrap (Heap.allocator replay_heap) in
     let result, fuel_burned, _ =
       execute ~policy_kind ~input ~now ~fuel:policy.fuel program (wrap plan instrumented)
     in
@@ -313,7 +326,42 @@ let run ?(policy = default_policy) ?(config = Config.default)
       | _, Process.Crashed f -> Some f
       | _ -> None
     in
-    (Canary.diagnose ?fault canary, Canary.violations canary, fuel_burned)
+    let violations = Canary.violations canary in
+    (* Provenance: the replay runs the failed attempt's exact seed and
+       heap shape, so its addresses coincide with the failed run's —
+       each violation (and the fault's own address) resolves to the
+       site that allocated those bytes.  Best-effort, write-only. *)
+    let offender_sites =
+      if not (Dh_obs.Control.enabled ()) then []
+      else begin
+        let site_of addr =
+          Option.value (Heap.site_of_addr replay_heap addr)
+            ~default:Dh_obs.Audit.unknown
+        in
+        let canary_sites =
+          List.map (fun (v : Canary.violation) -> site_of v.Canary.addr) violations
+        in
+        List.iter (fun site -> Dh_obs.Audit.record_canary ~site) canary_sites;
+        let fault_sites =
+          match fault with
+          | None -> []
+          | Some f ->
+            let addr =
+              match f with
+              | Dh_mem.Fault.Unmapped { addr; _ }
+              | Dh_mem.Fault.Protection { addr; _ }
+              | Dh_mem.Fault.Unmap_unmapped { addr } ->
+                addr
+              | Dh_mem.Fault.Protect_unmapped { fault_addr; _ } -> fault_addr
+            in
+            let site = site_of addr in
+            Dh_obs.Audit.record_fault ~site;
+            [ site ]
+        in
+        List.sort_uniq compare (canary_sites @ fault_sites)
+      end
+    in
+    (Canary.diagnose ?fault canary, violations, fuel_burned, offender_sites)
   in
   (* The whole ladder's seeds are frozen up front (attempts 0 through
      max_retries + 1, the last being the rescue rung): seed assignment
@@ -321,7 +369,8 @@ let run ?(policy = default_policy) ?(config = Config.default)
      concurrently.  [split] returns exactly the draws the old
      one-[fresh]-per-rung code made, so incidents are unchanged. *)
   let seeds = Seed.split ~n:(policy.max_retries + 2) seed_pool in
-  let diag_job : (unit -> Canary.diagnosis * Canary.violation list * int) option ref =
+  let diag_job :
+      (unit -> Canary.diagnosis * Canary.violation list * int * int list) option ref =
     ref None
   in
   let rec ladder attempt acc =
@@ -353,13 +402,19 @@ let run ?(policy = default_policy) ?(config = Config.default)
     else ladder (attempt + 1) acc
   in
   let attempts, verdict, output = ladder 0 [] in
-  let diagnosis, canary_violations, diag_fuel =
+  let diagnosis, canary_violations, diag_fuel, offender_sites =
     match !diag_job with
     | Some join ->
-      let d, v, f = join () in
-      (Some d, v, f)
-    | None -> (None, [], 0)
+      let d, v, f, sites = join () in
+      (Some d, v, f, sites)
+    | None -> (None, [], 0, [])
   in
+  (* The rescue rung degrades every allocation; charge the degradation
+     to the sites diagnosis blamed for forcing it. *)
+  if
+    Dh_obs.Control.enabled ()
+    && List.exists (fun a -> a.plan.mode = Rescue) attempts
+  then List.iter (fun site -> Dh_obs.Audit.record_rescue ~site) offender_sites;
   {
     program = program.Program.name;
     verdict;
@@ -371,6 +426,12 @@ let run ?(policy = default_policy) ?(config = Config.default)
     (* Drain the flight recorder into the incident; [] when disabled, so
        incidents compare equal across runs that never enabled obs. *)
     flight = Dh_obs.Recorder.take ();
+    (* Same contract as [flight]: [] when disabled, so incidents from
+       un-instrumented runs compare structurally equal. *)
+    offenders =
+      (if Dh_obs.Control.enabled () then
+         Dh_obs.Audit.top_sites (Dh_obs.Audit.snapshot ())
+       else []);
   }
 
 (* --- reporting --- *)
@@ -415,6 +476,22 @@ let pp_incident ppf i =
     List.iter
       (fun v -> Format.fprintf ppf "    %a@." Canary.pp_violation v)
       i.canary_violations);
+  (match i.offenders with
+  | [] -> ()
+  | offenders ->
+    Format.fprintf ppf "  top offending sites:@.";
+    List.iter
+      (fun (s : Dh_obs.Audit.site_stat) ->
+        (* Empirical per-site masking: of the site's attributed errors,
+           the fraction that never surfaced as a canary hit or fault —
+           allocations stand in for exposure (guarded division). *)
+        let events = s.Dh_obs.Audit.canaries + s.faults + s.rescues in
+        Format.fprintf ppf
+          "    %-24s allocs=%-7d frees=%-7d canaries=%d faults=%d rescues=%d \
+           masking=%.4f@."
+          s.Dh_obs.Audit.name s.s_allocs s.s_frees s.canaries s.faults s.rescues
+          (1. -. Dh_obs.Audit.ratio events s.s_allocs))
+      offenders);
   match i.flight with
   | [] -> ()
   | reports ->

@@ -112,6 +112,14 @@ type incident = {
           per memory fault raised and one per non-crash failed rung.
           Always [[]] when observability is disabled, so incidents from
           un-instrumented runs compare structurally equal. *)
+  offenders : Dh_obs.Audit.site_stat list;
+      (** Top allocation sites by attributed events (canary hits from
+          the diagnosis replay, the fault's own address, rescue
+          degradations), from {!Dh_obs.Audit.top_sites}.  The replay
+          runs the failed attempt's exact seed and heap shape, so its
+          addresses — and therefore its site attributions — coincide
+          with the failed run's.  Always [[]] when observability is
+          disabled (same contract as [flight]). *)
 }
 
 val run :

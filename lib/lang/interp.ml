@@ -16,6 +16,18 @@ exception Continue_signal
 
 type frame = (string, int ref) Hashtbl.t
 
+(* Audit provenance for MiniC allocation callsites.  The AST carries no
+   positions, but every [Call] node owns a physically distinct argument
+   list, so physical identity of the args list identifies the callsite.
+   Sites are named in discovery (first-execution) order, which is
+   deterministic for a deterministic program. *)
+module Site_tbl = Hashtbl.Make (struct
+  type t = Ast.expr list
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
 type state = {
   program : Ast.program;
   libc : libc;
@@ -26,6 +38,8 @@ type state = {
   (* Addresses of the startup-allocated string literals. *)
   literals : (string, int) Hashtbl.t;
   mutable input_pos : int;
+  prog_name : string;
+  call_sites : int Site_tbl.t;
 }
 
 (* --- environment --- *)
@@ -57,6 +71,27 @@ let lookup st ~barrier name =
         | None -> go rest)
   in
   go st.scopes
+
+(* Bracket an allocating builtin in its callsite's ambient audit site.
+   Interning happens only while observability is on (ids are stable
+   within a run; an obs-off run pays one atomic load and no table). *)
+let with_alloc_site st ~builtin args f =
+  if not (Dh_obs.Control.enabled ()) then f ()
+  else begin
+    let site =
+      match Site_tbl.find_opt st.call_sites args with
+      | Some s -> s
+      | None ->
+        let s =
+          Dh_obs.Audit.site
+            (Printf.sprintf "minic:%s:%s#%d" st.prog_name builtin
+               (Site_tbl.length st.call_sites))
+        in
+        Site_tbl.add st.call_sites args s;
+        s
+    in
+    Dh_obs.Audit.with_site site f
+  end
 
 (* --- heap access helpers --- *)
 
@@ -236,14 +271,22 @@ and call st ~barrier name args =
   | "malloc" ->
     arity 1 (function
       | [ n ] -> (
-        match st.ctx.Program.alloc.Allocator.malloc n with Some p -> p | None -> 0)
+        match
+          with_alloc_site st ~builtin:"malloc" args (fun () ->
+              st.ctx.Program.alloc.Allocator.malloc n)
+        with
+        | Some p -> p
+        | None -> 0)
       | _ -> assert false)
   | "calloc" ->
     arity 1 (function
       | [ n ] -> (
         (* zero-fill through the access policy so a fail-stop policy's
            initialization tracking sees the writes *)
-        match st.ctx.Program.alloc.Allocator.malloc n with
+        match
+          with_alloc_site st ~builtin:"calloc" args (fun () ->
+              st.ctx.Program.alloc.Allocator.malloc n)
+        with
         | Some p ->
           for i = 0 to n - 1 do
             store8 st (p + i) 0
@@ -260,7 +303,10 @@ and call st ~barrier name args =
   | "realloc" ->
     arity 2 (function
       | [ p; n ] -> (
-        match Allocator.realloc st.ctx.Program.alloc p n with
+        match
+          with_alloc_site st ~builtin:"realloc" args (fun () ->
+              Allocator.realloc st.ctx.Program.alloc p n)
+        with
         | Some q -> q
         | None -> 0)
       | _ -> assert false)
@@ -427,6 +473,12 @@ and exec_stmt st ~barrier (s : Ast.stmt) =
 (* --- entry points --- *)
 
 let allocate_literals st =
+  let site =
+    if Dh_obs.Control.enabled () then
+      Dh_obs.Audit.site (Printf.sprintf "minic:%s:literals" st.prog_name)
+    else Dh_obs.Audit.unknown
+  in
+  Dh_obs.Audit.with_site site @@ fun () ->
   List.iter
     (fun s ->
       match st.ctx.Program.alloc.Allocator.malloc (String.length s + 1) with
@@ -448,9 +500,18 @@ let register_gc_roots st =
         Hashtbl.iter (fun _ addr -> roots := addr :: !roots) st.literals;
         !roots)
 
-let run ?(libc = Unchecked) program ctx =
+let run ?(libc = Unchecked) ?(name = "minic") program ctx =
   let st =
-    { program; libc; ctx; scopes = []; literals = Hashtbl.create 16; input_pos = 0 }
+    {
+      program;
+      libc;
+      ctx;
+      scopes = [];
+      literals = Hashtbl.create 16;
+      input_pos = 0;
+      prog_name = name;
+      call_sites = Site_tbl.create 16;
+    }
   in
   register_gc_roots st;
   allocate_literals st;
@@ -462,7 +523,7 @@ let run ?(libc = Unchecked) program ctx =
     if code <> 0 then raise (Process.Exit_program code)
 
 let to_program ?libc ~name program =
-  Program.make ~name (fun ctx -> run ?libc program ctx)
+  Program.make ~name (fun ctx -> run ?libc ~name program ctx)
 
 let program_of_source ?libc ~name source =
   to_program ?libc ~name (Parser.parse_program source)

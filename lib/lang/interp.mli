@@ -34,8 +34,13 @@ exception Runtime_error of string
     division by zero.  Escapes {!Dh_mem.Process.run} — experiments never
     trigger it with well-formed programs. *)
 
-val run : ?libc:libc -> Ast.program -> Dh_alloc.Program.context -> unit
-(** Run [main()] to completion within an existing context. *)
+val run : ?libc:libc -> ?name:string -> Ast.program -> Dh_alloc.Program.context -> unit
+(** Run [main()] to completion within an existing context.  [name]
+    (default ["minic"]) prefixes the audit allocation-site labels the
+    interpreter interns for [malloc]/[calloc]/[realloc] callsites —
+    ["minic:<name>:malloc#2"] — while observability is enabled.  Each
+    AST callsite gets its own site, numbered in first-execution
+    order. *)
 
 val to_program : ?libc:libc -> name:string -> Ast.program -> Dh_alloc.Program.t
 (** Package as a runnable {!Dh_alloc.Program.t}. *)

@@ -1,0 +1,388 @@
+let max_classes = 16
+let slot_buckets = 64
+
+(* --- allocation sites --- *)
+
+let unknown = 0
+let sites_lock = Mutex.create ()
+let site_ids : (string, int) Hashtbl.t = Hashtbl.create 64
+let site_names = ref (Array.make 8 "?")
+let n_sites = ref 0
+
+let intern_unlocked name =
+  match Hashtbl.find_opt site_ids name with
+  | Some id -> id
+  | None ->
+    let id = !n_sites in
+    if id >= Array.length !site_names then begin
+      let grown = Array.make (2 * Array.length !site_names) "?" in
+      Array.blit !site_names 0 grown 0 id;
+      site_names := grown
+    end;
+    !site_names.(id) <- name;
+    n_sites := id + 1;
+    Hashtbl.add site_ids name id;
+    id
+
+let () = ignore (intern_unlocked "unknown")
+
+let site name = Mutex.protect sites_lock (fun () -> intern_unlocked name)
+
+let site_name id =
+  Mutex.protect sites_lock (fun () ->
+      if id >= 0 && id < !n_sites then !site_names.(id) else "?")
+
+let site_count () = Mutex.protect sites_lock (fun () -> !n_sites)
+
+(* --- the ambient site ---
+
+   A domain-local int ref: wrappers between the workload and the heap
+   forward bare [int -> int option] closures, so the site travels out of
+   band.  Writes are gated on [Control.enabled] — the heap only reads
+   the ambient site while enabled, and the disabled path must stay at
+   one atomic load. *)
+
+let ambient : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref unknown)
+
+let set_site id = if Control.enabled () then Domain.DLS.get ambient := id
+let current_site () = !(Domain.DLS.get ambient)
+
+let with_site id f =
+  if not (Control.enabled ()) then f ()
+  else begin
+    let r = Domain.DLS.get ambient in
+    let prev = !r in
+    r := id;
+    Fun.protect ~finally:(fun () -> r := prev) f
+  end
+
+(* --- per-domain buffered cells ---
+
+   One process-wide sharded instrument on the [Metrics] discipline:
+   each recording domain owns a private cell (reached through
+   domain-local storage), written with plain in-place adds and merged
+   only on read.  Site counters grow on demand — site ids are dense,
+   so flat arrays indexed by id stay small. *)
+
+type cell = {
+  allocs : int array;  (* per class *)
+  frees : int array;
+  failed : int array;
+  slot_hist : int array;  (* max_classes * slot_buckets, row-major *)
+  mutable by_site_allocs : int array;  (* per site id, grown on demand *)
+  mutable by_site_frees : int array;
+}
+
+let fresh_cell () =
+  {
+    allocs = Array.make max_classes 0;
+    frees = Array.make max_classes 0;
+    failed = Array.make max_classes 0;
+    slot_hist = Array.make (max_classes * slot_buckets) 0;
+    by_site_allocs = Array.make 8 0;
+    by_site_frees = Array.make 8 0;
+  }
+
+let cells_lock = Mutex.create ()
+let cells : cell list ref = ref []
+
+(* The per-domain cell, registered on the merge list the first time the
+   domain records.  Cells are never unregistered; [reset] zeroes them in
+   place so handles held by live components stay valid. *)
+let cell_key : cell Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let c = fresh_cell () in
+      Mutex.protect cells_lock (fun () -> cells := c :: !cells);
+      c)
+
+type local = { mutable owner : int; mutable cell : cell }
+
+let local () = { owner = -1; cell = fresh_cell () }
+
+let resolve lc =
+  let me = (Domain.self () :> int) in
+  if lc.owner <> me then begin
+    lc.cell <- Domain.DLS.get cell_key;
+    lc.owner <- me
+  end;
+  lc.cell
+
+let grown a n =
+  let len = Array.length a in
+  if n < len then a
+  else begin
+    let a' = Array.make (max (n + 1) (2 * len)) 0 in
+    Array.blit a 0 a' 0 len;
+    a'
+  end
+
+let record_alloc lc ~class_ ~index ~capacity ~site =
+  if Control.enabled () && class_ >= 0 && class_ < max_classes then begin
+    let c = resolve lc in
+    c.allocs.(class_) <- c.allocs.(class_) + 1;
+    if capacity > 0 && index >= 0 then begin
+      let b = min (slot_buckets - 1) (index * slot_buckets / capacity) in
+      let i = (class_ * slot_buckets) + b in
+      c.slot_hist.(i) <- c.slot_hist.(i) + 1
+    end;
+    if site >= 0 then begin
+      if site >= Array.length c.by_site_allocs then
+        c.by_site_allocs <- grown c.by_site_allocs site;
+      c.by_site_allocs.(site) <- c.by_site_allocs.(site) + 1
+    end
+  end
+
+let record_free lc ~class_ ~site =
+  if Control.enabled () && class_ >= 0 && class_ < max_classes then begin
+    let c = resolve lc in
+    c.frees.(class_) <- c.frees.(class_) + 1;
+    if site >= 0 then begin
+      if site >= Array.length c.by_site_frees then
+        c.by_site_frees <- grown c.by_site_frees site;
+      c.by_site_frees.(site) <- c.by_site_frees.(site) + 1
+    end
+  end
+
+let record_failed lc ~class_ =
+  if Control.enabled () && class_ >= 0 && class_ < max_classes then begin
+    let c = resolve lc in
+    c.failed.(class_) <- c.failed.(class_) + 1
+  end
+
+(* --- occupancy provider --- *)
+
+type occupancy = { occ_class : int; live : int; threshold : int; capacity : int }
+
+let provider_lock = Mutex.create ()
+let provider : (unit -> occupancy list) option ref = ref None
+
+let set_occupancy_provider f =
+  Mutex.protect provider_lock (fun () -> provider := Some f)
+
+let occupancy () =
+  match Mutex.protect provider_lock (fun () -> !provider) with
+  | None -> []
+  | Some f -> ( try f () with _ -> [])
+
+(* --- empirical outcomes and attributed events ---
+
+   Campaign tallies and canary/fault/rescue attributions are rare (per
+   incident, not per allocation), so a mutex per record is fine. *)
+
+type error_kind = Overflow | Dangling | Uninit
+
+let error_kind_name = function
+  | Overflow -> "overflow"
+  | Dangling -> "dangling"
+  | Uninit -> "uninit"
+
+let kind_index = function Overflow -> 0 | Dangling -> 1 | Uninit -> 2
+
+let outcomes_lock = Mutex.create ()
+let masked_tally = Array.make 3 0
+let trial_tally = Array.make 3 0
+
+let record_error_trials ~error ~masked ~trials =
+  if Control.enabled () then
+    Mutex.protect outcomes_lock (fun () ->
+        let i = kind_index error in
+        masked_tally.(i) <- masked_tally.(i) + masked;
+        trial_tally.(i) <- trial_tally.(i) + trials)
+
+type events = { mutable ev_canaries : int; mutable ev_faults : int; mutable ev_rescues : int }
+
+let events_lock = Mutex.create ()
+let events_by_site : (int, events) Hashtbl.t = Hashtbl.create 16
+
+let events_for site =
+  match Hashtbl.find_opt events_by_site site with
+  | Some e -> e
+  | None ->
+    let e = { ev_canaries = 0; ev_faults = 0; ev_rescues = 0 } in
+    Hashtbl.add events_by_site site e;
+    e
+
+let record_event ~site f =
+  if Control.enabled () then
+    Mutex.protect events_lock (fun () -> f (events_for site))
+
+let record_canary ~site = record_event ~site (fun e -> e.ev_canaries <- e.ev_canaries + 1)
+let record_fault ~site = record_event ~site (fun e -> e.ev_faults <- e.ev_faults + 1)
+let record_rescue ~site = record_event ~site (fun e -> e.ev_rescues <- e.ev_rescues + 1)
+
+(* --- reading --- *)
+
+type class_stat = {
+  cls : int;
+  allocs : int;
+  frees : int;
+  failed : int;
+  slot_hist : int array;
+}
+
+type site_stat = {
+  site_id : int;
+  name : string;
+  s_allocs : int;
+  s_frees : int;
+  canaries : int;
+  faults : int;
+  rescues : int;
+}
+
+type snapshot = {
+  classes : class_stat array;
+  sites : site_stat list;
+  occ : occupancy list;
+  outcomes : (error_kind * int * int) list;
+}
+
+let snapshot () =
+  let merged = Mutex.protect cells_lock (fun () -> !cells) in
+  let classes =
+    Array.init max_classes (fun cls ->
+        let sum field =
+          List.fold_left (fun acc (c : cell) -> acc + (field c).(cls)) 0 merged
+        in
+        let slot_hist =
+          Array.init slot_buckets (fun b ->
+              List.fold_left
+                (fun acc (c : cell) -> acc + c.slot_hist.((cls * slot_buckets) + b))
+                0 merged)
+        in
+        {
+          cls;
+          allocs = sum (fun c -> c.allocs);
+          frees = sum (fun c -> c.frees);
+          failed = sum (fun c -> c.failed);
+          slot_hist;
+        })
+  in
+  let n = site_count () in
+  let site_sum field id =
+    List.fold_left
+      (fun acc (c : cell) ->
+        let a = field c in
+        acc + if id < Array.length a then a.(id) else 0)
+      0 merged
+  in
+  let sites =
+    List.filter_map
+      (fun id ->
+        let s_allocs = site_sum (fun c -> c.by_site_allocs) id in
+        let s_frees = site_sum (fun c -> c.by_site_frees) id in
+        let ev =
+          Mutex.protect events_lock (fun () -> Hashtbl.find_opt events_by_site id)
+        in
+        let canaries, faults, rescues =
+          match ev with
+          | None -> (0, 0, 0)
+          | Some e -> (e.ev_canaries, e.ev_faults, e.ev_rescues)
+        in
+        if s_allocs = 0 && s_frees = 0 && canaries = 0 && faults = 0 && rescues = 0
+        then None
+        else
+          Some
+            { site_id = id; name = site_name id; s_allocs; s_frees; canaries; faults; rescues })
+      (List.init n Fun.id)
+  in
+  let outcomes =
+    Mutex.protect outcomes_lock (fun () ->
+        List.filter_map
+          (fun k ->
+            let i = kind_index k in
+            if trial_tally.(i) = 0 then None
+            else Some (k, masked_tally.(i), trial_tally.(i)))
+          [ Overflow; Dangling; Uninit ])
+  in
+  { classes; sites; occ = occupancy (); outcomes }
+
+let severity s = s.canaries + s.faults + s.rescues
+
+let top_sites ?(n = 5) snap =
+  let ranked =
+    List.filter (fun s -> severity s > 0 || s.s_allocs > 0) snap.sites
+    |> List.sort (fun a b ->
+           match compare (severity b) (severity a) with
+           | 0 -> (
+             match compare b.s_allocs a.s_allocs with
+             | 0 -> compare a.site_id b.site_id
+             | c -> c)
+           | c -> c)
+  in
+  List.filteri (fun i _ -> i < n) ranked
+
+(* --- arithmetic guards ---
+
+   Mirrors the Stats.pp guards: a class that never allocated must read
+   as rate 0, not NaN. *)
+
+let ratio num den = if den <= 0 then 0. else float_of_int num /. float_of_int den
+
+let entropy_bits hist =
+  let total = Array.fold_left ( + ) 0 hist in
+  if total <= 0 then 0.
+  else
+    Array.fold_left
+      (fun acc n ->
+        if n = 0 then acc
+        else begin
+          let p = float_of_int n /. float_of_int total in
+          acc -. (p *. log p /. log 2.)
+        end)
+      0. hist
+
+let top_sites_summary () =
+  let snap = snapshot () in
+  match top_sites snap with
+  | [] -> "(no site activity)"
+  | tops ->
+    String.concat "\n"
+      (List.map
+         (fun s ->
+           Printf.sprintf
+             "%-24s allocs=%d frees=%d canaries=%d faults=%d rescues=%d \
+              events/1k-allocs=%.2f"
+             s.name s.s_allocs s.s_frees s.canaries s.faults s.rescues
+             (1000. *. ratio (severity s) s.s_allocs))
+         tops)
+
+(* --- periodic watch --- *)
+
+let watch_lock = Mutex.create ()
+let watch : (int * (now:int -> unit)) option ref = ref None
+
+let set_watch ~every ~f =
+  if every < 1 then invalid_arg "Audit.set_watch: every must be >= 1";
+  Mutex.protect watch_lock (fun () -> watch := Some (every, f))
+
+let clear_watch () = Mutex.protect watch_lock (fun () -> watch := None)
+
+let tick ~now =
+  if Control.enabled () then
+    match Mutex.protect watch_lock (fun () -> !watch) with
+    | Some (every, f) when now > 0 && now mod every = 0 -> ( try f ~now with _ -> ())
+    | Some _ | None -> ()
+
+let reset () =
+  Mutex.protect cells_lock (fun () ->
+      List.iter
+        (fun (c : cell) ->
+          Array.fill c.allocs 0 max_classes 0;
+          Array.fill c.frees 0 max_classes 0;
+          Array.fill c.failed 0 max_classes 0;
+          Array.fill c.slot_hist 0 (max_classes * slot_buckets) 0;
+          Array.fill c.by_site_allocs 0 (Array.length c.by_site_allocs) 0;
+          Array.fill c.by_site_frees 0 (Array.length c.by_site_frees) 0)
+        !cells);
+  Mutex.protect sites_lock (fun () ->
+      Hashtbl.reset site_ids;
+      n_sites := 0;
+      ignore (intern_unlocked "unknown"));
+  Mutex.protect events_lock (fun () -> Hashtbl.reset events_by_site);
+  Mutex.protect outcomes_lock (fun () ->
+      Array.fill masked_tally 0 3 0;
+      Array.fill trial_tally 0 3 0);
+  Mutex.protect provider_lock (fun () -> provider := None);
+  Mutex.protect watch_lock (fun () -> watch := None);
+  Domain.DLS.get ambient := unknown

@@ -242,6 +242,19 @@ let histogram_detail h =
   Printf.sprintf "sum=%d mean=%.1f buckets=%s" sum mean
     (String.concat ";" (List.rev !nonzero))
 
+(* When a {!Quantile} instrument shares a histogram's name, its exact
+   (3.125%-error) quantiles replace the log2 upper bounds in the p50/p99
+   columns — the instruments record the same series (the serve loop
+   publishes "serve.latency_ns" to both), so the dump reports the
+   tightest summary available.  Resolved once per dump, not per row. *)
+let exact_quantiles name =
+  match List.assoc_opt name (Quantile.registered ()) with
+  | None -> None
+  | Some q ->
+    let snap = Quantile.snapshot q in
+    if Quantile.count snap = 0 then None
+    else Some (Quantile.quantile snap 0.5, Quantile.quantile snap 0.99)
+
 let dump t =
   let rows =
     Mutex.protect t.lock (fun () ->
@@ -256,12 +269,17 @@ let dump t =
          | Gauge g ->
            { name; kind = "gauge"; value = gauge_read g; p50 = None; p99 = None; detail = "" }
          | Histogram h ->
+           let p50, p99 =
+             match exact_quantiles name with
+             | Some (p50, p99) -> (p50, p99)
+             | None -> (histogram_quantile h 0.5, histogram_quantile h 0.99)
+           in
            {
              name;
              kind = "histogram";
              value = histogram_total h;
-             p50 = Some (histogram_quantile h 0.5);
-             p99 = Some (histogram_quantile h 0.99);
+             p50 = Some p50;
+             p99 = Some p99;
              detail = histogram_detail h;
            })
        rows)

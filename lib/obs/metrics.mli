@@ -107,8 +107,12 @@ type row = {
   name : string;
   kind : string;  (** ["counter"], ["gauge"] or ["histogram"]. *)
   value : int;  (** Counter sum, gauge value, or histogram sample count. *)
-  p50 : int option;  (** Histograms: {!histogram_quantile} at 0.5. *)
-  p99 : int option;  (** Histograms: {!histogram_quantile} at 0.99. *)
+  p50 : int option;
+      (** Histograms: {!histogram_quantile} at 0.5 — unless a
+          {!Quantile} instrument with the same name has samples, in
+          which case its exact (3.125%-error) quantile is reported
+          instead of the coarse log2 bound. *)
+  p99 : int option;  (** Histograms: likewise at 0.99. *)
   detail : string;
       (** Histograms: ["sum=S mean=M buckets=b1:n1;b4:n4"]; empty
           otherwise. *)

@@ -60,8 +60,16 @@ let service ~requests ?(attack_every = 0) ?(attack_len = 3000) ?zipf () =
   let init ctx =
     let a = ctx.Program.alloc in
     let mem = a.Allocator.mem in
+    (* Audit provenance: each of the server's four allocation callsites
+       gets an interned site, bracketed ambiently around the malloc (the
+       allocator record can't carry it).  Write-only; a site never
+       changes what is allocated or where. *)
+    let s_boot = Dh_obs.Audit.site "server:boot"
+    and s_node = Dh_obs.Audit.site "server:cache-node"
+    and s_url = Dh_obs.Audit.site "server:url-copy"
+    and s_title = Dh_obs.Audit.site "server:title" in
     let must sz =
-      match a.Allocator.malloc sz with
+      match Dh_obs.Audit.with_site s_boot (fun () -> a.Allocator.malloc sz) with
       | Some p -> p
       | None -> raise (Process.Abort "server: out of memory at boot")
     in
@@ -117,7 +125,11 @@ let service ~requests ?(attack_every = 0) ?(attack_len = 3000) ?zipf () =
           h
         | None -> (
           (* miss: store a node and its URL copy (both 32 B class) *)
-          match (a.Allocator.malloc node_size, a.Allocator.malloc (String.length url + 1)) with
+          match
+            ( Dh_obs.Audit.with_site s_node (fun () -> a.Allocator.malloc node_size),
+              Dh_obs.Audit.with_site s_url (fun () ->
+                  a.Allocator.malloc (String.length url + 1)) )
+          with
           | Some node, Some ucopy ->
             strcpy ucopy url;
             Mem.write64 mem node key;
@@ -160,7 +172,7 @@ let service ~requests ?(attack_every = 0) ?(attack_len = 3000) ?zipf () =
             0)
       in
       (* format the response title — the crash site *)
-      (match a.Allocator.malloc title_size with
+      (match Dh_obs.Audit.with_site s_title (fun () -> a.Allocator.malloc title_size) with
       | Some title ->
         strcpy title url;
         a.Allocator.free title

@@ -1,0 +1,284 @@
+(* Tests for the safety-margin audit layer: site interning and the
+   ambient-site channel, heap provenance attribution (explicit and
+   ambient, retained across free for dangling blame), threshold-refusal
+   counting, slot entropy, the guarded ratios behind every rate the
+   audit reports, the Margin bound evaluation at degenerate occupancies,
+   empirical outcome tallies, and the write-only contract: a run's
+   output must be byte-identical with the audit on or off.  Plus the
+   Window registry edge cases (find on unregistered names, writes behind
+   the trailing window, rates at clock zero). *)
+
+module Control = Dh_obs.Control
+module Audit = Dh_obs.Audit
+module Window = Dh_obs.Window
+module Margin = Dh_analysis.Margin
+module Heap = Diehard.Heap
+module Config = Diehard.Config
+module Allocator = Dh_alloc.Allocator
+module Program = Dh_alloc.Program
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let with_audit f =
+  Control.with_enabled true (fun () ->
+      Audit.reset ();
+      Fun.protect ~finally:Audit.reset f)
+
+let fresh_heap ?(heap_size = 12 * 64 * 1024) ?(seed = 7) () =
+  let config = Config.v ~heap_size ~seed () in
+  Heap.create ~config (Dh_mem.Mem.create ())
+
+(* --- sites and the ambient channel ---------------------------------- *)
+
+let test_site_interning () =
+  with_audit (fun () ->
+      let a = Audit.site "alpha" in
+      let b = Audit.site "beta" in
+      check "distinct names, distinct ids" true (a <> b);
+      check_int "interning is idempotent" a (Audit.site "alpha");
+      check_str "name round-trips" "alpha" (Audit.site_name a);
+      check_str "unknown id 0" "unknown" (Audit.site_name Audit.unknown);
+      check_str "out-of-range id reads a placeholder" "?" (Audit.site_name 9999);
+      check "site_count covers interned" true (Audit.site_count () >= 3))
+
+let test_ambient_site () =
+  with_audit (fun () ->
+      let s = Audit.site "ambient" in
+      check_int "default ambient is unknown" Audit.unknown (Audit.current_site ());
+      let inside = Audit.with_site s (fun () -> Audit.current_site ()) in
+      check_int "with_site sets the ambient site" s inside;
+      check_int "with_site restores on exit" Audit.unknown (Audit.current_site ());
+      (* exception-safe restore *)
+      (try Audit.with_site s (fun () -> failwith "boom") with Failure _ -> ());
+      check_int "restored after raise" Audit.unknown (Audit.current_site ()));
+  (* Disabled: the channel is inert and the thunk still runs. *)
+  Control.with_enabled false (fun () ->
+      let r =
+        Audit.with_site 42 (fun () ->
+            check_int "disabled with_site does not set" Audit.unknown
+              (Audit.current_site ());
+            17)
+      in
+      check_int "thunk result passes through" 17 r)
+
+(* --- heap provenance ------------------------------------------------- *)
+
+let test_heap_attribution () =
+  with_audit (fun () ->
+      let heap = fresh_heap () in
+      let s_exp = Audit.site "test:explicit" in
+      let s_amb = Audit.site "test:ambient" in
+      let p = Option.get (Heap.malloc heap ~site:s_exp 64) in
+      let q =
+        Option.get (Audit.with_site s_amb (fun () -> Heap.malloc heap 64))
+      in
+      check_int "explicit site attributed" s_exp
+        (Option.get (Heap.site_of_addr heap p));
+      check_int "ambient site attributed" s_amb
+        (Option.get (Heap.site_of_addr heap q));
+      let alloc = Heap.allocator heap in
+      alloc.Allocator.free p;
+      (* Provenance survives free: the last owner is exactly who a
+         dangling-pointer incident should blame. *)
+      check_int "site retained after free" s_exp
+        (Option.get (Heap.site_of_addr heap p));
+      let snap = Audit.snapshot () in
+      let stat name =
+        List.find (fun (s : Audit.site_stat) -> s.Audit.name = name)
+          snap.Audit.sites
+      in
+      check_int "per-site alloc count" 1 (stat "test:explicit").Audit.s_allocs;
+      check_int "per-site free count" 1 (stat "test:explicit").Audit.s_frees;
+      check_int "ambient site alloc counted" 1 (stat "test:ambient").Audit.s_allocs)
+
+let test_threshold_refusals_counted () =
+  with_audit (fun () ->
+      let heap = fresh_heap () in
+      let threshold = Config.threshold (Heap.config heap) ~class_:3 in
+      for _ = 1 to threshold do
+        ignore (Heap.malloc heap 64)
+      done;
+      check "threshold refuses the next" true (Heap.malloc heap 64 = None);
+      let snap = Audit.snapshot () in
+      let c = snap.Audit.classes.(3) in
+      check_int "allocs audited" threshold c.Audit.allocs;
+      check "refusal audited" true (c.Audit.failed >= 1);
+      (* and the occupancy provider reports the class at threshold *)
+      let occ =
+        List.find (fun o -> o.Audit.occ_class = 3) snap.Audit.occ
+      in
+      check_int "occupancy live" threshold occ.Audit.live;
+      check_int "occupancy threshold" threshold occ.Audit.threshold)
+
+(* --- entropy and guarded ratios -------------------------------------- *)
+
+let test_entropy () =
+  let uniform = Array.make Audit.slot_buckets 10 in
+  let ideal = log (float_of_int Audit.slot_buckets) /. log 2. in
+  check "uniform hist reaches the ideal" true
+    (Float.abs (Audit.entropy_bits uniform -. ideal) < 1e-9);
+  let point = Array.make Audit.slot_buckets 0 in
+  point.(5) <- 100;
+  check "point mass has zero entropy" true (Audit.entropy_bits point = 0.);
+  check "empty hist is 0, not NaN" true
+    (Audit.entropy_bits (Array.make Audit.slot_buckets 0) = 0.)
+
+let test_ratio_guard () =
+  check "0/0 is 0" true (Audit.ratio 0 0 = 0.);
+  check "n/0 is 0, not inf" true (Audit.ratio 5 0 = 0.);
+  check "negative denominator guarded" true (Audit.ratio 5 (-1) = 0.);
+  check "ordinary ratio" true (Audit.ratio 1 4 = 0.25);
+  check "never NaN" false (Float.is_nan (Audit.ratio 0 0))
+
+let test_margin_degenerate_occupancy () =
+  (* A full class (live = capacity) must not divide by zero or raise in
+     the Theorem 2 evaluation; an empty snapshot yields no classes. *)
+  with_audit (fun () ->
+      let heap = fresh_heap () in
+      let threshold = Config.threshold (Heap.config heap) ~class_:3 in
+      for _ = 1 to threshold do
+        ignore (Heap.malloc heap 64)
+      done;
+      let r = Margin.of_snapshot (Audit.snapshot ()) in
+      List.iter
+        (fun c ->
+          check "occupancy finite" false (Float.is_nan c.Margin.cm_occupancy);
+          check "overflow bound finite" false
+            (Float.is_nan c.Margin.cm_overflow_mask);
+          check "dangling bound finite" false
+            (Float.is_nan c.Margin.cm_dangling_mask))
+        r.Margin.classes;
+      check "stand-alone detects no uninit reads" true (r.Margin.uninit_detect = 0.));
+  with_audit (fun () ->
+      let r = Margin.of_snapshot (Audit.snapshot ()) in
+      check "empty snapshot has no classes" true (r.Margin.classes = []))
+
+(* --- empirical outcomes and offender ranking ------------------------- *)
+
+let test_empirical_outcomes () =
+  with_audit (fun () ->
+      Audit.record_error_trials ~error:Audit.Overflow ~masked:3 ~trials:4;
+      Audit.record_error_trials ~error:Audit.Overflow ~masked:1 ~trials:2;
+      Audit.record_error_trials ~error:Audit.Dangling ~masked:5 ~trials:5;
+      let snap = Audit.snapshot () in
+      let find k =
+        List.find_map
+          (fun (k', m, t) -> if k' = k then Some (m, t) else None)
+          snap.Audit.outcomes
+      in
+      check "overflow tallies accumulate" true
+        (find Audit.Overflow = Some (4, 6));
+      check "dangling tallied" true (find Audit.Dangling = Some (5, 5));
+      check "unrecorded kind absent" true (find Audit.Uninit = None);
+      let r = Margin.of_snapshot snap in
+      let em =
+        List.find (fun e -> e.Margin.em_kind = "overflow") r.Margin.empirical
+      in
+      check "empirical rate guarded and exact" true
+        (Float.abs (em.Margin.em_rate -. (4. /. 6.)) < 1e-9))
+
+let test_top_sites_ranking () =
+  with_audit (fun () ->
+      let noisy = Audit.site "noisy" in
+      let guilty = Audit.site "guilty" in
+      let heap = fresh_heap () in
+      for _ = 1 to 10 do
+        ignore (Heap.malloc heap ~site:noisy 64)
+      done;
+      ignore (Heap.malloc heap ~site:guilty 64);
+      Audit.record_canary ~site:guilty;
+      Audit.record_fault ~site:guilty;
+      match Audit.top_sites ~n:2 (Audit.snapshot ()) with
+      | first :: second :: _ ->
+        check_str "faulting site outranks the merely busy" "guilty"
+          first.Audit.name;
+        check_int "events counted" 1 first.Audit.canaries;
+        check_int "faults counted" 1 first.Audit.faults;
+        check_str "volume breaks ties" "noisy" second.Audit.name
+      | _ -> Alcotest.fail "expected two ranked sites")
+
+(* --- the write-only contract ----------------------------------------- *)
+
+let run_server ~requests () =
+  let program = Dh_workload.Server.program ~requests () in
+  let config = Config.v ~heap_size:Dh_workload.Server.heap_size ~seed:11 () in
+  let heap = Heap.create ~config (Dh_mem.Mem.create ()) in
+  let result = Program.run program (Heap.allocator heap) in
+  result.Dh_mem.Process.output
+
+let test_write_only_invariance () =
+  let off = Control.with_enabled false (fun () -> run_server ~requests:512 ()) in
+  let on =
+    Control.with_enabled true (fun () ->
+        Audit.reset ();
+        Fun.protect ~finally:Audit.reset (fun () -> run_server ~requests:512 ()))
+  in
+  check_str "audited output is byte-identical" off on;
+  check "audited run produced output" true (String.length on > 0)
+
+(* --- Window registry edge cases -------------------------------------- *)
+
+let test_window_find_unregistered () =
+  Control.with_enabled true (fun () ->
+      Window.reset ();
+      check "find on unregistered name" true (Window.find "no-such-window" = None);
+      let w = Window.get "such-window" ~width:8 ~buckets:4 in
+      check "find returns the registered instance" true
+        (Window.find "such-window" = Some w);
+      Window.reset ())
+
+let test_window_backwards_clock () =
+  Control.with_enabled true (fun () ->
+      Window.reset ();
+      let w = Window.get "backwards" ~width:10 ~buckets:4 in
+      Window.add w ~now:1000 3;
+      check_int "counted at the newest bucket" 3 (Window.total w ~now:1000);
+      (* A stamp from before the trailing window (clock running
+         backwards, or a stale producer) is dropped, not smeared into a
+         live bucket. *)
+      Window.add w ~now:0 100;
+      check_int "pre-window write dropped" 3 (Window.total w ~now:1000);
+      (* A small step back inside the window still counts. *)
+      Window.add w ~now:995 2;
+      check_int "in-window backwards write lands" 5 (Window.total w ~now:1000);
+      Window.reset ())
+
+let test_window_rate_at_clock_zero () =
+  Control.with_enabled true (fun () ->
+      Window.reset ();
+      let w = Window.get "zero" ~width:10 ~buckets:4 in
+      check "empty rate at clock 0 is 0" true (Window.rate w ~now:0 = 0.);
+      check "empty rate is not NaN" false (Float.is_nan (Window.rate w ~now:0));
+      Window.add w ~now:0 5;
+      (* One tick elapsed: the early-run denominator is the elapsed
+         ticks, not the full span. *)
+      check "rate at clock 0 uses elapsed ticks" true (Window.rate w ~now:0 = 5.);
+      Window.reset ())
+
+let suite =
+  [
+    Alcotest.test_case "site: interning and names" `Quick test_site_interning;
+    Alcotest.test_case "site: ambient channel" `Quick test_ambient_site;
+    Alcotest.test_case "heap: explicit and ambient attribution" `Quick
+      test_heap_attribution;
+    Alcotest.test_case "heap: threshold refusals audited" `Quick
+      test_threshold_refusals_counted;
+    Alcotest.test_case "entropy: uniform, point mass, empty" `Quick test_entropy;
+    Alcotest.test_case "ratio: div-by-zero guards" `Quick test_ratio_guard;
+    Alcotest.test_case "margin: degenerate occupancies stay finite" `Quick
+      test_margin_degenerate_occupancy;
+    Alcotest.test_case "empirical: outcome tallies accumulate" `Quick
+      test_empirical_outcomes;
+    Alcotest.test_case "sites: severity ranks above volume" `Quick
+      test_top_sites_ranking;
+    Alcotest.test_case "audit is write-only: output identical on/off" `Quick
+      test_write_only_invariance;
+    Alcotest.test_case "window: find on unregistered name" `Quick
+      test_window_find_unregistered;
+    Alcotest.test_case "window: backwards clock stamps" `Quick
+      test_window_backwards_clock;
+    Alcotest.test_case "window: rate at clock zero" `Quick
+      test_window_rate_at_clock_zero;
+  ]

@@ -7,6 +7,7 @@ let () =
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
       ("slo-obs", Test_slo_obs.suite);
+      ("audit", Test_audit.suite);
       ("simmem", Test_mem.suite);
       ("bulk", Test_bulk.suite);
       ("alloc-base", Test_alloc_base.suite);

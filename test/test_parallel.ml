@@ -294,14 +294,15 @@ let test_metrics_shard_merge_under_pool () =
 
 (* Telemetry is write-only: a traced run must produce bit-identical
    results to an untraced one, sequentially and in parallel.  Flight
-   recorder captures are the one field tracing legitimately adds, so
-   the fingerprint strips them before comparing. *)
+   recorder captures and audit offender rankings are the fields
+   tracing legitimately adds (both are [] when obs is off), so the
+   fingerprint strips them before comparing. *)
 let prop_observation_invariance =
   QCheck.Test.make ~name:"tracing does not perturb seeded runs" ~count:8
     QCheck.(int_bound 1000)
     (fun master ->
       let baseline = supervisor_incident ~jobs:1 ~master in
-      let strip i = { i with Supervisor.flight = [] } in
+      let strip i = { i with Supervisor.flight = []; offenders = [] } in
       let observed ~jobs =
         Dh_obs.Control.with_enabled true (fun () ->
             Fun.protect
@@ -312,6 +313,7 @@ let prop_observation_invariance =
               (fun () -> supervisor_incident ~jobs ~master))
       in
       baseline.Supervisor.flight = []
+      && baseline.Supervisor.offenders = []
       && strip (observed ~jobs:1) = strip baseline
       && strip (observed ~jobs:4) = strip baseline)
 
@@ -339,7 +341,7 @@ let prop_server_jobs_equivalence =
           Dh_obs.Tracing.reset ();
           Dh_obs.Recorder.clear ())
         (fun () ->
-          let strip i = { i with Supervisor.flight = [] } in
+          let strip i = { i with Supervisor.flight = []; offenders = [] } in
           let seq = strip (server_incident ~jobs:1 ~master ~attack_every) in
           List.for_all
             (fun jobs ->
